@@ -1,0 +1,334 @@
+package repro
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/ba"
+	"repro/internal/baseline"
+	"repro/internal/epoch"
+	"repro/internal/experiments"
+	"repro/internal/groups"
+	"repro/internal/hashes"
+	"repro/internal/overlay"
+	"repro/internal/pow"
+	"repro/internal/ring"
+	"repro/internal/secroute"
+)
+
+// ---------------------------------------------------------------------------
+// One benchmark per experiment (DESIGN.md §6). Each regenerates its table in
+// quick mode; per-experiment metrics of interest are also reported as
+// custom benchmark metrics so `go test -bench` output doubles as the
+// reproduction record.
+// ---------------------------------------------------------------------------
+
+func benchExperiment(b *testing.B, id string) experiments.Result {
+	e, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var res experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = e.Run(experiments.Options{Quick: true, Seed: 1})
+	}
+	return res
+}
+
+func cell(b *testing.B, res experiments.Result, row, col int) float64 {
+	v, err := strconv.ParseFloat(res.Table.Rows[row][col], 64)
+	if err != nil {
+		b.Fatalf("cell (%d,%d) not numeric: %v", row, col, err)
+	}
+	return v
+}
+
+func BenchmarkE1StaticSearch(b *testing.B) {
+	res := benchExperiment(b, "e1")
+	b.ReportMetric(cell(b, res, 0, 4), "searchFail@n1k,b05")
+	b.ReportMetric(cell(b, res, len(res.Table.Rows)-1, 4), "searchFail@max,b10")
+}
+
+func BenchmarkE2BadGroups(b *testing.B) {
+	res := benchExperiment(b, "e2")
+	b.ReportMetric(cell(b, res, 1, 4), "badFrac@2lnln,b05")
+}
+
+func BenchmarkE3Costs(b *testing.B) {
+	res := benchExperiment(b, "e3")
+	// rows alternate tiny/log per overlay; ratio of msgs/search is the
+	// Corollary 1 improvement factor.
+	tiny := cell(b, res, 0, 5)
+	logg := cell(b, res, 1, 5)
+	b.ReportMetric(logg/tiny, "logVsTinyMsgRatio")
+}
+
+func BenchmarkE4Dynamic(b *testing.B) {
+	res := benchExperiment(b, "e4")
+	last := len(res.Table.Rows) - 1
+	b.ReportMetric(cell(b, res, last, 5), "searchFail@lastEpoch")
+}
+
+func BenchmarkE5Ablation(b *testing.B) {
+	res := benchExperiment(b, "e5")
+	var lastTwo, lastOne float64
+	for i, row := range res.Table.Rows {
+		if row[0] == "2" {
+			lastTwo = cell(b, res, i, 3)
+		} else {
+			lastOne = cell(b, res, i, 3)
+		}
+	}
+	b.ReportMetric(lastTwo, "redFrac@2graphs")
+	b.ReportMetric(lastOne, "redFrac@1graph")
+}
+
+func BenchmarkE6PoW(b *testing.B) {
+	res := benchExperiment(b, "e6")
+	b.ReportMetric(cell(b, res, 0, 2), "minted@b05")
+}
+
+func BenchmarkE7Strings(b *testing.B) {
+	res := benchExperiment(b, "e7")
+	b.ReportMetric(cell(b, res, 0, 4), "maxSolutionSet")
+}
+
+func BenchmarkE8Knee(b *testing.B) {
+	res := benchExperiment(b, "e8")
+	b.ReportMetric(cell(b, res, 0, 4), "searchFail@halfLnln")
+	b.ReportMetric(cell(b, res, len(res.Table.Rows)-1, 4), "searchFail@4lnln")
+}
+
+func BenchmarkE9InputGraphs(b *testing.B) {
+	res := benchExperiment(b, "e9")
+	b.ReportMetric(cell(b, res, 0, 3), "chordHopsOverLog2n")
+}
+
+func BenchmarkE10Cuckoo(b *testing.B) {
+	res := benchExperiment(b, "e10")
+	b.ReportMetric(cell(b, res, 0, 4), "cuckooSurvived@g8")
+}
+
+func BenchmarkE11Precompute(b *testing.B) {
+	res := benchExperiment(b, "e11")
+	last := len(res.Table.Rows) - 1
+	rot := cell(b, res, last, 1)
+	no := cell(b, res, last, 2)
+	b.ReportMetric(no/rot, "hoardGrowthRatio")
+}
+
+func BenchmarkE12State(b *testing.B) {
+	res := benchExperiment(b, "e12")
+	b.ReportMetric(cell(b, res, 0, 3), "spamAccepted@verify")
+	b.ReportMetric(cell(b, res, 1, 3), "spamAccepted@noVerify")
+}
+
+func BenchmarkE13BA(b *testing.B) {
+	res := benchExperiment(b, "e13")
+	b.ReportMetric(cell(b, res, 0, 3), "agreementRate")
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the hot substrates (testing.B in the conventional
+// per-op style).
+// ---------------------------------------------------------------------------
+
+func benchRing(n int, seed int64) *ring.Ring {
+	return overlay.UniformRing(n, rand.New(rand.NewSource(seed)))
+}
+
+func BenchmarkRingSuccessor(b *testing.B) {
+	r := benchRing(1<<16, 1)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Successor(ring.Point(rng.Uint64()))
+	}
+}
+
+func BenchmarkHashPointAt(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		hashes.H1.PointAt(ring.Point(i), i&7)
+	}
+}
+
+func BenchmarkChordRoute(b *testing.B) {
+	r := benchRing(1<<14, 3)
+	g := overlay.NewChord(r)
+	rng := rand.New(rand.NewSource(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := r.At(rng.Intn(r.Len()))
+		g.Route(src, ring.Point(rng.Uint64()))
+	}
+}
+
+func BenchmarkDeBruijnRoute(b *testing.B) {
+	r := benchRing(1<<14, 5)
+	g := overlay.NewDeBruijn(r, 2)
+	rng := rand.New(rand.NewSource(6))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := r.At(rng.Intn(r.Len()))
+		g.Route(src, ring.Point(rng.Uint64()))
+	}
+}
+
+func BenchmarkViceroyRoute(b *testing.B) {
+	r := benchRing(1<<14, 7)
+	g := overlay.NewViceroy(r, 7)
+	rng := rand.New(rand.NewSource(8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := r.At(rng.Intn(r.Len()))
+		g.Route(src, ring.Point(rng.Uint64()))
+	}
+}
+
+func BenchmarkGroupGraphBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	pl := adversary.Place(adversary.Config{N: 1 << 12, Beta: 0.05, Strategy: adversary.Uniform}, rng)
+	params := groups.DefaultParams()
+	params.Beta = 0.05
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ov := overlay.NewChord(pl.Ring())
+		groups.Build(ov, pl.BadSet(), params, hashes.H1)
+	}
+}
+
+func BenchmarkGroupSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	pl := adversary.Place(adversary.Config{N: 1 << 12, Beta: 0.05, Strategy: adversary.Uniform}, rng)
+	ov := overlay.NewChord(pl.Ring())
+	params := groups.DefaultParams()
+	params.Beta = 0.05
+	g := groups.Build(ov, pl.BadSet(), params, hashes.H1)
+	r := ov.Ring()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := r.At(rng.Intn(r.Len()))
+		g.Search(src, ring.Point(rng.Uint64()))
+	}
+}
+
+func BenchmarkPoWSolve(b *testing.B) {
+	p := pow.Params{Tau: ring.Point(^uint64(0) >> 8), StringLen: 32}
+	rng := rand.New(rand.NewSource(11))
+	rstr := pow.EpochString(1, 0, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pow.Solve(rstr, p, rng, 1<<20)
+	}
+}
+
+func BenchmarkMintCount(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < b.N; i++ {
+		pow.MintCount(1<<20, 1e-4, rng)
+	}
+}
+
+func BenchmarkPhaseKingAgreement(b *testing.B) {
+	prefs := make([]int, 12)
+	for i := range prefs {
+		prefs[i] = i % 2
+	}
+	byz := map[int]bool{3: true, 8: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ba.Run(12, 2, prefs, byz, "equivocate")
+	}
+}
+
+func BenchmarkCuckooEvent(b *testing.B) {
+	// Parameters that survive the attack (per E10), so all b.N events run.
+	res := baseline.RunCuckoo(baseline.CuckooConfig{
+		N: 1 << 10, Beta: 0.002, K: 4, GroupSize: 64,
+		Events: b.N, Targeted: true, Seed: 13,
+	})
+	if !res.Survived && b.N > 1000 {
+		b.Fatalf("cuckoo died at event %d; per-event timing invalid", res.SurvivedEvents)
+	}
+}
+
+func BenchmarkE14SecureRouting(b *testing.B) {
+	res := benchExperiment(b, "e14")
+	b.ReportMetric(cell(b, res, 0, 3), "scoreAgreement")
+}
+
+func BenchmarkE15Departures(b *testing.B) {
+	res := benchExperiment(b, "e15")
+	b.ReportMetric(cell(b, res, 0, 3), "majLost@10pct")
+	b.ReportMetric(cell(b, res, len(res.Table.Rows)-1, 3), "majLost@80pct")
+}
+
+func BenchmarkE16Bootstrap(b *testing.B) {
+	res := benchExperiment(b, "e16")
+	b.ReportMetric(cell(b, res, 1, 4), "goodMajorityRate")
+}
+
+func BenchmarkE17OverlayAblation(b *testing.B) {
+	res := benchExperiment(b, "e17")
+	b.ReportMetric(cell(b, res, 0, 1), "chordHops")
+	b.ReportMetric(cell(b, res, 1, 1), "debruijn2Hops")
+}
+
+func BenchmarkSecureRouteProtocol(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	pl := adversary.Place(adversary.Config{N: 1 << 12, Beta: 0.05, Strategy: adversary.Uniform}, rng)
+	ov := overlay.NewChord(pl.Ring())
+	params := groups.DefaultParams()
+	params.Beta = 0.05
+	g := groups.Build(ov, pl.BadSet(), params, hashes.H1)
+	r := ov.Ring()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := r.At(rng.Intn(r.Len()))
+		secroute.Route(g, src, ring.Point(rng.Uint64()))
+	}
+}
+
+func BenchmarkEpochConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := epoch.DefaultConfig(512)
+		cfg.Seed = int64(i + 1)
+		s, err := epoch.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.RunEpoch()
+	}
+}
+
+func BenchmarkLotteryRound(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	r := overlay.UniformRing(256, rng)
+	ov := overlay.NewChord(r)
+	adj := pow.BuildAdjacency(ov)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := pow.DefaultLotteryConfig(256, 1<<14)
+		cfg.Seed = int64(i + 1)
+		pow.RunLottery(cfg, adj)
+	}
+}
+
+func BenchmarkE18Quarantine(b *testing.B) {
+	res := benchExperiment(b, "e18")
+	b.ReportMetric(cell(b, res, 2, 3), "residentBad@pMis1")
+	b.ReportMetric(cell(b, res, 0, 3), "residentBad@stealth")
+}
+
+func BenchmarkE19AdaptivePoW(b *testing.B) {
+	res := benchExperiment(b, "e19")
+	b.ReportMetric(cell(b, res, 0, 1), "workRatio@peace")
+	b.ReportMetric(cell(b, res, 3, 1), "workRatio@griefing")
+}
+
+func BenchmarkE20SizeDrift(b *testing.B) {
+	res := benchExperiment(b, "e20")
+	b.ReportMetric(cell(b, res, len(res.Table.Rows)-1, 4), "searchFail@50pctDrift")
+}

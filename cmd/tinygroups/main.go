@@ -1,0 +1,76 @@
+// Command tinygroups regenerates the paper-reproduction tables.
+//
+// Usage:
+//
+//	tinygroups [-quick] [-seed N] <experiment>...
+//	tinygroups list
+//	tinygroups all
+//
+// Experiments are e1..e13; see DESIGN.md §6 for the claim each regenerates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced sweeps (seconds instead of minutes)")
+	seed := flag.Int64("seed", 1, "random seed for all experiments")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	switch args[0] {
+	case "list":
+		for _, e := range experiments.All() {
+			fmt.Printf("%-5s %s\n", e.ID, e.Title)
+		}
+		return
+	case "all":
+		for _, e := range experiments.All() {
+			run(e, opts)
+		}
+		return
+	}
+	for _, id := range args {
+		e, ok := experiments.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try `tinygroups list`)\n", id)
+			os.Exit(2)
+		}
+		run(e, opts)
+	}
+}
+
+func run(e experiments.Experiment, opts experiments.Options) {
+	start := time.Now()
+	res := e.Run(opts)
+	fmt.Printf("== %s: %s (%.1fs)\n\n", res.ID, res.Title, time.Since(start).Seconds())
+	fmt.Print(res.Table.String())
+	for _, n := range res.Notes {
+		fmt.Printf("  note: %s\n", n)
+	}
+	fmt.Println()
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `tinygroups — reproduction harness for "Tiny Groups Tackle Byzantine Adversaries" (IPDPS 2018)
+
+usage:
+  tinygroups [-quick] [-seed N] <experiment>...   run specific experiments (e1..e13)
+  tinygroups list                                 list experiments
+  tinygroups all                                  run everything
+
+flags:
+`)
+	flag.PrintDefaults()
+}

@@ -1,0 +1,11 @@
+// Package repro reproduces "Tiny Groups Tackle Byzantine Adversaries"
+// (Jaiyeola, Patron, Saia, Young, Zhou — IPDPS 2018, arXiv:1705.10387):
+// attack-resistant distributed systems built from groups of size
+// Θ(log log n) instead of the classic Θ(log n), secured by proof-of-work.
+//
+// The public surface is internal/core (the assembled ε-robust system);
+// the substrates live in internal/{ring,hashes,overlay,groups,adversary,
+// epoch,pow,sim,ba,baseline}; internal/experiments regenerates every
+// evaluation table (see DESIGN.md §6 and EXPERIMENTS.md); bench_test.go in
+// this directory exposes one benchmark per experiment.
+package repro

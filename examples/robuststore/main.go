@@ -1,0 +1,53 @@
+// Robuststore: the decentralized storage application of §I-A — store a
+// corpus of keys, subject the system to different adversary ID-placement
+// strategies, and measure what fraction of the corpus stays retrievable
+// (the ε-robustness guarantee: all but an o(1) fraction).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+)
+
+func main() {
+	const n = 2048
+	const keys = 500
+
+	fmt.Printf("robust store: n = %d IDs, %d keys, varying adversary strategy\n\n", n, keys)
+	fmt.Printf("%-10s %-6s %-10s %-10s %-12s\n", "strategy", "beta", "stored", "retrieved", "unreachable")
+
+	for _, strat := range []adversary.Strategy{adversary.Uniform, adversary.Clustered, adversary.NearKey} {
+		for _, beta := range []float64{0.05, 0.10} {
+			cfg := core.DefaultConfig(n)
+			cfg.Beta = beta
+			cfg.Strategy = strat
+			cfg.Seed = 42
+			sys, err := core.New(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			stored := 0
+			for i := 0; i < keys; i++ {
+				k := fmt.Sprintf("doc-%04d", i)
+				if _, err := sys.Put(k, []byte(k)); err == nil {
+					stored++
+				}
+			}
+			retrieved, unreachable := 0, 0
+			for i := 0; i < keys; i++ {
+				k := fmt.Sprintf("doc-%04d", i)
+				if _, _, err := sys.Get(k); err == nil {
+					retrieved++
+				} else {
+					unreachable++
+				}
+			}
+			fmt.Printf("%-10s %-6.2f %-10d %-10d %-12d\n", strat, beta, stored, retrieved, unreachable)
+		}
+	}
+	fmt.Println("\nexpected: retrieval misses stay an o(1) fraction for every placement strategy —")
+	fmt.Println("the PoW u.a.r.-ID guarantee (Lemma 11) denies the adversary any useful concentration.")
+}

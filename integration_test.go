@@ -1,0 +1,156 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/epoch"
+)
+
+// Integration tests exercise the full stack — ring → hashes → overlay →
+// groups → epoch/pow → core — through the public core API, across every
+// overlay construction and adversary strategy.
+
+func TestIntegrationAllOverlays(t *testing.T) {
+	for _, ov := range []string{"chord", "debruijn", "viceroy"} {
+		ov := ov
+		t.Run(ov, func(t *testing.T) {
+			cfg := core.DefaultConfig(512)
+			cfg.Overlay = ov
+			cfg.Seed = 101
+			sys, err := core.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Store, churn one epoch, retrieve.
+			stored := 0
+			for i := 0; i < 60; i++ {
+				if _, err := sys.Put(fmt.Sprintf("k%d", i), []byte{byte(i)}); err == nil {
+					stored++
+				}
+			}
+			if stored < 54 {
+				t.Fatalf("only %d/60 puts succeeded on %s", stored, ov)
+			}
+			st := sys.AdvanceEpoch()
+			if st.SearchFailRate > 0.15 {
+				t.Fatalf("%s: post-epoch fail rate %.3f", ov, st.SearchFailRate)
+			}
+			got := 0
+			for i := 0; i < 60; i++ {
+				if v, _, err := sys.Get(fmt.Sprintf("k%d", i)); err == nil && len(v) == 1 && v[0] == byte(i) {
+					got++
+				}
+			}
+			if got < 50 {
+				t.Fatalf("%s: only %d/60 values retrievable after churn", ov, got)
+			}
+		})
+	}
+}
+
+func TestIntegrationAllStrategies(t *testing.T) {
+	for _, strat := range []adversary.Strategy{adversary.Uniform, adversary.Clustered, adversary.NearKey} {
+		strat := strat
+		t.Run(strat.String(), func(t *testing.T) {
+			cfg := core.DefaultConfig(512)
+			cfg.Strategy = strat
+			cfg.Seed = 103
+			sys, err := core.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rob := sys.Robustness(400)
+			if rob.SearchFailRate > 0.12 {
+				t.Errorf("%s: fail rate %.3f exceeds ε budget", strat, rob.SearchFailRate)
+			}
+			st := sys.AdvanceEpoch()
+			if st.RedFraction[0] > 0.05 {
+				t.Errorf("%s: post-epoch red fraction %.3f", strat, st.RedFraction[0])
+			}
+		})
+	}
+}
+
+func TestIntegrationMultiEpochStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-epoch run")
+	}
+	cfg := core.DefaultConfig(512)
+	cfg.Seed = 104
+	sys, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 6; e++ {
+		st := sys.AdvanceEpoch()
+		if st.RedFraction[0] > 0.05 || st.SearchFailRate > 0.15 {
+			t.Fatalf("epoch %d: red=%.3f fail=%.3f — drift detected", st.Epoch, st.RedFraction[0], st.SearchFailRate)
+		}
+	}
+	if sys.Epoch() != 6 {
+		t.Errorf("epoch counter %d, want 6", sys.Epoch())
+	}
+}
+
+func TestIntegrationComputePipeline(t *testing.T) {
+	cfg := core.DefaultConfig(512)
+	cfg.Seed = 105
+	sys, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, total := 0, 0
+	for i := 0; i < 50; i++ {
+		res, err := sys.Compute(fmt.Sprintf("job%d", i), i%2)
+		if errors.Is(err, core.ErrUnreachable) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if res.Correct {
+			correct++
+		}
+	}
+	if total == 0 || float64(correct)/float64(total) < 0.85 {
+		t.Errorf("compute pipeline: %d/%d correct", correct, total)
+	}
+}
+
+func TestIntegrationErosionRegimes(t *testing.T) {
+	// The §III departure bound is load-bearing: moderate erosion (well
+	// within ε'/2 per group on average) stays stable across epochs, while
+	// heavy erosion poisons the graphs the *next* generation is built
+	// through — no self-recovery, exactly why the paper assumes the bound
+	// holds every epoch.
+	run := func(frac float64, epochs int) []float64 {
+		cfg := epoch.DefaultConfig(512)
+		cfg.MidEpochDepartures = frac
+		cfg.Seed = 106
+		s, err := epoch.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rates []float64
+		for e := 0; e < epochs; e++ {
+			rates = append(rates, s.RunEpoch().SearchFailRate)
+		}
+		return rates
+	}
+	mild := run(0.10, 3)
+	for e, r := range mild {
+		if r > 0.15 {
+			t.Errorf("10%% erosion should be stable: epoch %d fail rate %.3f", e+1, r)
+		}
+	}
+	heavy := run(0.30, 2)
+	if heavy[1] < heavy[0] {
+		t.Errorf("heavy erosion should compound into the next construction: %.3f then %.3f",
+			heavy[0], heavy[1])
+	}
+}

@@ -1,0 +1,252 @@
+package baseline
+
+import (
+	"math/rand"
+
+	"repro/internal/ring"
+)
+
+// CuckooConfig parameterizes a cuckoo-rule join-leave-attack simulation in
+// the style of [47] (Sen & Freedman) over the Awerbuch–Scheideler rule
+// [8]–[10]: on every join, the joiner is placed at a u.a.r. point and all
+// nodes in the k-region containing that point are evicted and re-placed at
+// u.a.r. points.
+type CuckooConfig struct {
+	N    int     // total nodes (constant: each event is a leave+rejoin)
+	Beta float64 // adversary node fraction
+	// K is the cuckoo-region granularity: the ring is split into N/K
+	// k-regions of size K/N each; K = 0 disables eviction (plain random
+	// join — the undefended baseline).
+	K int
+	// GroupSize g sets the group regions: the ring is split into N/g
+	// regions and a region is compromised when at least half its occupants
+	// are adversarial (majority filtering broken).
+	GroupSize int
+	// Events is the number of adversarial leave+rejoin events to run.
+	Events int
+	// Targeted selects the attack: if true, the adversary always churns a
+	// bad node *outside* the most-infected region (the classic join-leave
+	// ratchet); otherwise it churns a u.a.r. bad node.
+	Targeted bool
+	Seed     int64
+}
+
+// CuckooResult reports the outcome.
+type CuckooResult struct {
+	Survived       bool // no region ever lost its good majority
+	SurvivedEvents int  // events completed before first compromise (== Events if survived)
+	MaxBadFraction float64
+}
+
+// cuckooSim holds the mutable simulation state.
+type cuckooSim struct {
+	cfg     CuckooConfig
+	rng     *rand.Rand
+	ringSet *ring.Ring
+	bad     map[ring.Point]bool
+	regions int
+	regBad  []int // bad occupants per group region
+	regTot  []int // occupants per group region
+	touched []int // regions modified during the current event
+}
+
+func (s *cuckooSim) regionOf(p ring.Point) int {
+	// Region index by top bits: idx = floor(p · regions / 2⁶⁴).
+	return int(uint64(p) / (^uint64(0)/uint64(s.regions) + 1))
+}
+
+func (s *cuckooSim) place(p ring.Point, isBad bool) {
+	for !s.ringSet.Insert(p) { // collision: nudge (probability ~0)
+		p++
+	}
+	if isBad {
+		s.bad[p] = true
+	}
+	r := s.regionOf(p)
+	s.regTot[r]++
+	if isBad {
+		s.regBad[r]++
+	}
+	s.touched = append(s.touched, r)
+}
+
+func (s *cuckooSim) remove(p ring.Point) (wasBad bool) {
+	wasBad = s.bad[p]
+	delete(s.bad, p)
+	s.ringSet.Remove(p)
+	r := s.regionOf(p)
+	s.regTot[r]--
+	if wasBad {
+		s.regBad[r]--
+	}
+	s.touched = append(s.touched, r)
+	return wasBad
+}
+
+// kRegionMembers returns the occupants of the k-region containing x.
+func (s *cuckooSim) kRegionMembers(x ring.Point) []ring.Point {
+	if s.ringSet.Len() == 0 {
+		return nil
+	}
+	kRegions := s.cfg.N / s.cfg.K
+	if kRegions < 1 {
+		kRegions = 1
+	}
+	width := ^uint64(0)/uint64(kRegions) + 1
+	lo := ring.Point(uint64(x) / width * width)
+	hi := lo + ring.Point(width-1)
+	var out []ring.Point
+	cur := s.ringSet.Successor(lo)
+	for i := 0; i < s.ringSet.Len(); i++ {
+		if cur < lo || cur > hi { // no wrap: regions are aligned intervals
+			break
+		}
+		out = append(out, cur)
+		next := s.ringSet.StrictSuccessor(cur)
+		if next <= cur { // wrapped
+			break
+		}
+		cur = next
+	}
+	return out
+}
+
+// join places a new node of the given badness per the cuckoo rule:
+// u.a.r. position x, evict the k-region of x, re-place evictees u.a.r.
+func (s *cuckooSim) join(isBad bool) {
+	x := ring.Point(s.rng.Uint64())
+	if s.cfg.K > 0 {
+		for _, p := range s.kRegionMembers(x) {
+			evictedBad := s.remove(p)
+			s.place(ring.Point(s.rng.Uint64()), evictedBad)
+		}
+	}
+	s.place(x, isBad)
+}
+
+// compromised reports whether any of the given group regions has lost its
+// good majority, and the worst bad fraction among them. An empty region has
+// no group to subvert ([47] treats occupancy separately) and is skipped.
+func (s *cuckooSim) compromised(regions []int) (bool, float64) {
+	worst := 0.0
+	comp := false
+	for _, r := range regions {
+		if s.regTot[r] == 0 {
+			continue
+		}
+		f := float64(s.regBad[r]) / float64(s.regTot[r])
+		if f > worst {
+			worst = f
+		}
+		if 2*s.regBad[r] >= s.regTot[r] {
+			comp = true
+		}
+	}
+	return comp, worst
+}
+
+// allRegions lists every region index (for the full bootstrap check).
+func (s *cuckooSim) allRegions() []int {
+	out := make([]int, s.regions)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// RunCuckoo executes the join-leave attack and reports survival.
+func RunCuckoo(cfg CuckooConfig) CuckooResult {
+	if cfg.GroupSize < 1 {
+		cfg.GroupSize = 8
+	}
+	s := &cuckooSim{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		ringSet: ring.New(nil),
+		bad:     make(map[ring.Point]bool),
+		regions: cfg.N / cfg.GroupSize,
+	}
+	if s.regions < 1 {
+		s.regions = 1
+	}
+	s.regBad = make([]int, s.regions)
+	s.regTot = make([]int, s.regions)
+
+	// Initial population: place everyone by the join rule itself (an
+	// honest bootstrap), adversary last.
+	nBad := int(cfg.Beta * float64(cfg.N))
+	for i := 0; i < cfg.N-nBad; i++ {
+		s.join(false)
+	}
+	for i := 0; i < nBad; i++ {
+		s.join(true)
+	}
+
+	res := CuckooResult{Survived: true, SurvivedEvents: cfg.Events}
+	comp, worst := s.compromised(s.allRegions())
+	res.MaxBadFraction = worst
+	if comp {
+		// Compromised at bootstrap (group size too small for this β).
+		res.Survived = false
+		res.SurvivedEvents = 0
+		return res
+	}
+
+	badList := make([]ring.Point, 0, nBad)
+	for p := range s.bad {
+		badList = append(badList, p)
+	}
+
+	for e := 1; e <= cfg.Events; e++ {
+		// Adversary churns one of its nodes.
+		victim := s.pickChurnNode(badList)
+		if victim == -1 {
+			break
+		}
+		s.touched = s.touched[:0]
+		s.remove(badList[victim])
+		s.join(true)
+		// The join may have relocated bad evictees; rebuild the bad list.
+		badList = badList[:0]
+		for p := range s.bad {
+			badList = append(badList, p)
+		}
+		comp, worst := s.compromised(s.touched)
+		if worst > res.MaxBadFraction {
+			res.MaxBadFraction = worst
+		}
+		if comp {
+			res.Survived = false
+			res.SurvivedEvents = e
+			return res
+		}
+	}
+	return res
+}
+
+// pickChurnNode selects which bad node departs: under the targeted attack,
+// a bad node outside the currently most-infected region (preserving the
+// beachhead); otherwise u.a.r.
+func (s *cuckooSim) pickChurnNode(badList []ring.Point) int {
+	if len(badList) == 0 {
+		return -1
+	}
+	if !s.cfg.Targeted {
+		return s.rng.Intn(len(badList))
+	}
+	best, bestFrac := -1, -1.0
+	for r := 0; r < s.regions; r++ {
+		if s.regTot[r] > 0 {
+			if f := float64(s.regBad[r]) / float64(s.regTot[r]); f > bestFrac {
+				bestFrac, best = f, r
+			}
+		}
+	}
+	for tries := 0; tries < 32; tries++ {
+		i := s.rng.Intn(len(badList))
+		if s.regionOf(badList[i]) != best {
+			return i
+		}
+	}
+	return s.rng.Intn(len(badList))
+}

@@ -1,0 +1,228 @@
+// Package core is the top-level facade of the library: an ε-robust
+// decentralized system in the sense of the paper's Theorem 3, assembled
+// from the input-graph, group-graph, dynamic-epoch, PoW and BA substrates.
+//
+// A System exposes the three things the paper's introduction motivates:
+//
+//   - a robust key→owner Lookup (secure routing through tiny groups),
+//   - a replicated Put/Get store over it (the "decentralized storage and
+//     retrieval" application of §I-A),
+//   - Compute, which runs Byzantine agreement inside the group responsible
+//     for a job so that each group "simulates a reliable processor".
+//
+// Epochs advance with AdvanceEpoch, which turns the whole population over
+// through the two-group-graph construction of §III backed by PoW-minted
+// IDs (§IV).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/adversary"
+	"repro/internal/ba"
+	"repro/internal/epoch"
+	"repro/internal/groups"
+	"repro/internal/hashes"
+	"repro/internal/ring"
+)
+
+// keyHash maps application keys into the ID space (the "globally-known hash
+// function" applied to resource names, Appendix VI).
+var keyHash = hashes.NewFunc("core.key")
+
+// Config parameterizes a System.
+type Config struct {
+	// N is the system size (number of IDs; constant across epochs).
+	N int
+	// Beta is the adversary's computational-power fraction (< 1/2,
+	// realistically ≤ 0.15 for tiny groups at simulable n).
+	Beta float64
+	// Overlay selects the input graph: "chord" (default), "debruijn" or
+	// "viceroy".
+	Overlay string
+	// Strategy is the adversary's ID-injection strategy.
+	Strategy adversary.Strategy
+	// Seed makes the run deterministic.
+	Seed int64
+}
+
+// DefaultConfig returns a ready-to-run configuration. Beta defaults to
+// 0.05 — the paper's "sufficiently small" β for which the dynamic
+// construction is stable at Θ(log log n) group sizes (see epoch.DefaultConfig).
+func DefaultConfig(n int) Config {
+	return Config{N: n, Beta: 0.05, Overlay: "chord", Strategy: adversary.Uniform, Seed: 1}
+}
+
+// System is a running ε-robust deployment.
+type System struct {
+	cfg Config
+	dyn *epoch.System
+	rng *rand.Rand
+	// store replicates values at the group of each key's owner. Values
+	// survive churn (they are re-homed when the ring turns over, exactly
+	// like resources in a DHT).
+	store map[string][]byte
+}
+
+// New builds a System with trusted initialization (Appendix X) and the
+// paper's two-group-graph dynamics.
+func New(cfg Config) (*System, error) {
+	if cfg.N < 8 {
+		return nil, fmt.Errorf("core: N = %d too small", cfg.N)
+	}
+	if cfg.Overlay == "" {
+		cfg.Overlay = "chord"
+	}
+	ecfg := epoch.DefaultConfig(cfg.N)
+	ecfg.Params.Beta = cfg.Beta
+	ecfg.Overlay = cfg.Overlay
+	ecfg.Strategy = cfg.Strategy
+	ecfg.Seed = cfg.Seed
+	if err := ecfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	dyn, err := epoch.New(ecfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		cfg:   cfg,
+		dyn:   dyn,
+		rng:   rand.New(rand.NewSource(cfg.Seed + 0x5eed)),
+		store: make(map[string][]byte),
+	}, nil
+}
+
+// N returns the system size.
+func (s *System) N() int { return s.cfg.N }
+
+// Epoch returns the current epoch index.
+func (s *System) Epoch() int { return s.dyn.Epoch() }
+
+// GroupSize returns the tiny-group size Θ(log log n) in force.
+func (s *System) GroupSize() int { return s.dyn.Graphs()[0].GroupSize() }
+
+// Graph returns the primary group graph (read-only use).
+func (s *System) Graph() *groups.Graph { return s.dyn.Graphs()[0] }
+
+// KeyPoint returns the ID-space point a key hashes to.
+func KeyPoint(key string) ring.Point { return keyHash.Point([]byte(key)) }
+
+// LookupInfo describes one routed lookup.
+type LookupInfo struct {
+	Owner    ring.Point // suc(h(key)): the ID responsible for the key
+	Hops     int        // groups traversed
+	Messages int64      // secure-routing message cost (all-to-all per hop)
+}
+
+// ErrUnreachable is returned when a lookup's search path traverses a red
+// group — the ε-fraction Theorem 3 concedes.
+var ErrUnreachable = errors.New("core: key unreachable (search path hit a red group)")
+
+// ErrNotFound is returned by Get for keys never stored.
+var ErrNotFound = errors.New("core: key not found")
+
+// Lookup routes from a u.a.r. ID to the owner of key through the group
+// graph. It fails with ErrUnreachable when the search path traverses a red
+// group.
+func (s *System) Lookup(key string) (LookupInfo, error) {
+	g := s.dyn.Graphs()[0]
+	r := g.Overlay().Ring()
+	src := r.At(s.rng.Intn(r.Len()))
+	res := g.Search(src, KeyPoint(key))
+	info := LookupInfo{Hops: len(res.Path), Messages: res.Messages}
+	if !res.OK {
+		return info, ErrUnreachable
+	}
+	info.Owner = res.Path[len(res.Path)-1]
+	return info, nil
+}
+
+// Put stores a value under key at the owner group (replicated across its
+// members). It fails if the owner cannot be reached securely.
+func (s *System) Put(key string, value []byte) (LookupInfo, error) {
+	info, err := s.Lookup(key)
+	if err != nil {
+		return info, err
+	}
+	v := make([]byte, len(value))
+	copy(v, value)
+	s.store[key] = v
+	return info, nil
+}
+
+// Get retrieves a value. It fails with ErrUnreachable if the route is
+// insecure, or with ErrNotFound if the key was never stored.
+func (s *System) Get(key string) ([]byte, LookupInfo, error) {
+	info, err := s.Lookup(key)
+	if err != nil {
+		return nil, info, err
+	}
+	v, ok := s.store[key]
+	if !ok {
+		return nil, info, ErrNotFound
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, info, nil
+}
+
+// ComputeResult reports one group-simulated computation (BA execution).
+type ComputeResult struct {
+	Group    ring.Point // leader of the executing group
+	Correct  bool       // the group was good and agreement held on the input
+	Agreed   bool       // honest members agreed (vacuous in a bad group)
+	Value    int
+	Messages int64
+}
+
+// Compute runs the job identified by jobKey on the group responsible for
+// it: the members execute phase-king Byzantine agreement on the job's
+// input bit. A good group always computes correctly (the paper's "reliable
+// processor"); a bad group may not.
+func (s *System) Compute(jobKey string, input int) (ComputeResult, error) {
+	info, err := s.Lookup(jobKey)
+	if err != nil {
+		return ComputeResult{}, err
+	}
+	g := s.dyn.Graphs()[0]
+	grp := g.Group(info.Owner)
+	if grp == nil {
+		return ComputeResult{}, fmt.Errorf("core: owner %v leads no group", info.Owner)
+	}
+	n := grp.Size()
+	tFaults := (n - 1) / 4
+	byz := map[int]bool{}
+	for i, m := range grp.Members {
+		if m.Bad {
+			byz[i] = true
+		}
+	}
+	prefs := make([]int, n)
+	for i := range prefs {
+		prefs[i] = input
+	}
+	res := ba.Run(n, tFaults, prefs, byz, "equivocate")
+	out := ComputeResult{
+		Group:    info.Owner,
+		Agreed:   res.Agreed,
+		Value:    res.Value,
+		Messages: res.Messages + info.Messages,
+	}
+	// Correct = the group is good (bad ≤ t) and honest members agreed on
+	// the submitted input.
+	out.Correct = !grp.Red() && len(byz) <= tFaults && res.Agreed && res.Value == input
+	return out, nil
+}
+
+// AdvanceEpoch turns the population over through the §III two-graph
+// construction and returns the epoch's construction statistics. Stored
+// values persist (they re-home to the new owners).
+func (s *System) AdvanceEpoch() epoch.Stats { return s.dyn.RunEpoch() }
+
+// Robustness measures Theorem 3's two bullets on the current graphs.
+func (s *System) Robustness(samples int) groups.Robustness {
+	return s.dyn.Graphs()[0].MeasureRobustness(samples, s.rng)
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func newTest(t *testing.T, n int, beta float64) *System {
+	t.Helper()
+	cfg := DefaultConfig(n)
+	cfg.Beta = beta
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{N: 2}); err == nil {
+		t.Error("tiny N accepted")
+	}
+	cfg := DefaultConfig(256)
+	cfg.Beta = 0.6
+	if _, err := New(cfg); err == nil {
+		t.Error("beta ≥ 1/2 accepted")
+	}
+	cfg = DefaultConfig(256)
+	cfg.Overlay = "nosuch"
+	if _, err := New(cfg); err == nil {
+		t.Error("unknown overlay accepted")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := newTest(t, 512, 0)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		val := []byte(fmt.Sprintf("value-%d", i))
+		if _, err := s.Put(key, val); err != nil {
+			t.Fatalf("Put(%s): %v", key, err)
+		}
+		got, _, err := s.Get(key)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", key, err)
+		}
+		if !bytes.Equal(got, val) {
+			t.Fatalf("Get(%s) = %q, want %q", key, got, val)
+		}
+	}
+}
+
+func TestGetNotFound(t *testing.T) {
+	s := newTest(t, 256, 0)
+	_, _, err := s.Get("missing")
+	if !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := newTest(t, 256, 0)
+	if _, err := s.Put("k", []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ := s.Get("k")
+	got[0] = 'X'
+	again, _, _ := s.Get("k")
+	if string(again) != "abc" {
+		t.Error("Get must return a copy, not the stored slice")
+	}
+}
+
+func TestLookupDeterministicOwner(t *testing.T) {
+	s := newTest(t, 512, 0)
+	i1, err := s.Lookup("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := s.Lookup("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i1.Owner != i2.Owner {
+		t.Error("same key must resolve to the same owner within an epoch")
+	}
+	if i1.Messages <= 0 || i1.Hops <= 0 {
+		t.Error("lookup cost missing")
+	}
+}
+
+func TestMostLookupsSucceedUnderAttack(t *testing.T) {
+	s := newTest(t, 1024, 0.08)
+	fails := 0
+	const total = 300
+	for i := 0; i < total; i++ {
+		if _, err := s.Lookup(fmt.Sprintf("k%d", i)); err != nil {
+			fails++
+		}
+	}
+	if float64(fails)/total > 0.10 {
+		t.Errorf("%d/%d lookups failed at β=0.08 — ε-robustness shape violated", fails, total)
+	}
+}
+
+func TestComputeOnGoodGroups(t *testing.T) {
+	s := newTest(t, 512, 0.05)
+	correct, total := 0, 0
+	for i := 0; i < 40; i++ {
+		res, err := s.Compute(fmt.Sprintf("job-%d", i), i%2)
+		if err != nil {
+			continue // unreachable job: part of the conceded ε
+		}
+		total++
+		if res.Correct {
+			correct++
+		}
+		if res.Messages <= 0 {
+			t.Error("compute cost missing")
+		}
+	}
+	if total == 0 {
+		t.Fatal("all jobs unreachable")
+	}
+	if float64(correct)/float64(total) < 0.9 {
+		t.Errorf("only %d/%d jobs computed correctly at β=0.05", correct, total)
+	}
+}
+
+func TestAdvanceEpochKeepsStore(t *testing.T) {
+	s := newTest(t, 256, 0.05)
+	if _, err := s.Put("persistent", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	st := s.AdvanceEpoch()
+	if st.Epoch != 1 || s.Epoch() != 1 {
+		t.Errorf("epoch bookkeeping wrong: %d / %d", st.Epoch, s.Epoch())
+	}
+	got, _, err := s.Get("persistent")
+	if err != nil {
+		// Re-homing may land on a red group; retry once after another epoch.
+		s.AdvanceEpoch()
+		got, _, err = s.Get("persistent")
+	}
+	if err != nil {
+		t.Fatalf("value lost across epochs: %v", err)
+	}
+	if string(got) != "v" {
+		t.Errorf("value corrupted: %q", got)
+	}
+}
+
+func TestGroupSizeIsTiny(t *testing.T) {
+	s := newTest(t, 4096, 0.05)
+	gs := s.GroupSize()
+	if gs < 4 || gs > 16 {
+		t.Errorf("group size %d not in the Θ(log log n) range for n=4096", gs)
+	}
+}
+
+func TestRobustnessReport(t *testing.T) {
+	s := newTest(t, 512, 0.05)
+	rob := s.Robustness(200)
+	if rob.Samples != 200 || rob.N != 512 {
+		t.Error("metadata wrong")
+	}
+	if rob.SearchFailRate > 0.15 {
+		t.Errorf("fail rate %.3f too high at β=0.05", rob.SearchFailRate)
+	}
+}

@@ -1,0 +1,57 @@
+package epoch
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/groups"
+)
+
+// BootGroupCount returns the number of u.a.r. groups a joiner contacts to
+// assemble its bootstrapping set (Appendix IX): O(log n / log log n)
+// groups of size O(log log n) pool to O(log n) IDs, which hold a good
+// majority w.h.p.
+func BootGroupCount(n int) int {
+	if n < 16 {
+		return 2
+	}
+	ln := math.Log(float64(n))
+	c := int(math.Ceil(ln / math.Log(ln)))
+	if c < 2 {
+		c = 2
+	}
+	return c
+}
+
+// BootSet is an assembled bootstrapping collection.
+type BootSet struct {
+	Members      []groups.Member // pooled members of the contacted groups
+	GoodMajority bool            // strict majority of the pool is good
+	GroupsUsed   int
+}
+
+// AssembleBoot contacts `count` u.a.r. groups of g and pools their members
+// (count ≤ 0 uses BootGroupCount). The paper argues the pooled O(log n)
+// IDs contain a good majority w.h.p. even though individual tiny groups
+// may be bad — this is what lets a joiner without any trusted contact
+// acquire a reliable Gboot.
+func AssembleBoot(g *groups.Graph, count int, rng *rand.Rand) BootSet {
+	r := g.Overlay().Ring()
+	n := r.Len()
+	if count <= 0 {
+		count = BootGroupCount(n)
+	}
+	set := BootSet{GroupsUsed: count}
+	good := 0
+	for i := 0; i < count; i++ {
+		grp := g.Group(r.At(rng.Intn(n)))
+		for _, m := range grp.Members {
+			set.Members = append(set.Members, m)
+			if !m.Bad {
+				good++
+			}
+		}
+	}
+	set.GoodMajority = 2*good > len(set.Members)
+	return set
+}

@@ -1,0 +1,435 @@
+// Package epoch implements the paper's dynamic construction (§III): time is
+// divided into epochs; during epoch j the system holds two old group graphs
+// G₁^{j−1}, G₂^{j−1} and builds two new ones G₁^j, G₂^j for the IDs that
+// will be active in epoch j+1.
+//
+// Every step of the construction — locating a group member suc(h_ℓ(w,i)),
+// locating a neighbor, or verifying either kind of request — is performed
+// by searching in *both* old graphs; a step is corrupted only when both
+// searches fail (probability q_f², the crux of Lemma 9's error
+// non-accumulation). Setting Config.TwoGraphs to false gives the naive
+// single-graph protocol the paper argues against, used as the E5 ablation.
+package epoch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/adversary"
+	"repro/internal/groups"
+	"repro/internal/hashes"
+	"repro/internal/overlay"
+	"repro/internal/ring"
+)
+
+// Config parameterizes a dynamic system.
+type Config struct {
+	N       int           // system size (constant under churn, §III model)
+	Params  groups.Params //
+	Overlay string        // input-graph construction: "chord", "debruijn", "viceroy"
+	// TwoGraphs selects the paper's two-group-graph protocol; false runs
+	// the naive single-graph ablation.
+	TwoGraphs bool
+	// Strategy is the adversary's ID-subset strategy for each epoch's βn
+	// freshly minted bad IDs.
+	Strategy adversary.Strategy
+	// VerifyRequests enables the §III-A request-verification step
+	// (disabling it exposes the state-blowup spam attack of Lemma 10/E12).
+	VerifyRequests bool
+	// SpamFactor: bogus group-membership requests per bad ID per epoch.
+	SpamFactor int
+	// MidEpochDepartures is the fraction of good IDs that go offline
+	// during each epoch after construction (0 = none). The §III model
+	// guarantees good groups survive as long as no group loses more than
+	// an ε'/2 = (1−2(1+δ)β)/2 fraction of its good members.
+	MidEpochDepartures float64
+	// SizeDrift exercises the paper's "system size is Θ(n)" remark (§III):
+	// each epoch the population alternates between N·(1−drift) and
+	// N·(1+drift). Zero keeps the size constant (the default model).
+	SizeDrift float64
+	Seed      int64
+}
+
+// DefaultConfig returns a paper-faithful configuration. Beta defaults to
+// 0.05: the paper requires β "sufficiently small", and at simulable n the
+// dynamic construction's error-feedback loop (confusion ∝ q_f²·|L_w|,
+// Lemma 8) converges comfortably at 0.05 with |G| = Θ(log log n) but needs
+// larger group-size constants beyond β ≈ 0.1 — exactly the knee experiment
+// E8 exhibits.
+func DefaultConfig(n int) Config {
+	params := groups.DefaultParams()
+	params.Beta = 0.05
+	// Dynamic stability needs a larger d₂ than the static case: the
+	// confusion feedback of Lemma 8 (red' ≈ p_bad + Θ(|L_w|)·q_f²) only
+	// converges when p_bad is small against the Θ(log n)-sized confusion
+	// surface |L_w|. Empirically (stability probes over seeds and sizes),
+	// |G| = 8 is stable at n ≈ 10³ but marginal by n ≈ 4·10³; d₂ = 4.5
+	// (|G| = 8–11 across simulable n — still far below the Θ(log n) ≈
+	// 14–64 of prior work) holds a comfortable margin through n = 4096.
+	// The E5/E8/E20 experiments map the divergence boundary.
+	params.D2 = 4.5
+	params.MinSize = 8
+	return Config{
+		N:              n,
+		Params:         params,
+		Overlay:        "chord",
+		TwoGraphs:      true,
+		Strategy:       adversary.Uniform,
+		VerifyRequests: true,
+		Seed:           1,
+	}
+}
+
+// Stats reports one epoch's construction outcome.
+type Stats struct {
+	Epoch int
+	// N is the population size of the generation built this epoch (differs
+	// from Config.N only under SizeDrift).
+	N int
+	// QfSingle / QfDual are the measured failure probabilities of a single
+	// old-graph search and of the both-graphs-fail event (≈ q_f and q_f²).
+	QfSingle, QfDual float64
+	// RedFraction is the red-group fraction of each new graph (p_f of S2).
+	RedFraction [2]float64
+	// SearchFailRate is the post-construction failure rate of searches in
+	// the new graphs (Theorem 3's second bullet, complemented).
+	SearchFailRate float64
+	// ForcedBadMembers counts member slots the adversary captured because
+	// both location searches failed.
+	ForcedBadMembers int
+	// ErroneousRejects counts good IDs that wrongly rejected a valid
+	// membership/neighbor request (both verification searches failed).
+	ErroneousRejects int
+	// SpamAccepted counts bogus requests that slipped past verification
+	// (or all of them when verification is off).
+	SpamAccepted int
+	// MeanMemberships is the mean number of groups a good serving ID
+	// belongs to across the new graphs (Lemma 10: O(log log n)).
+	MeanMemberships float64
+	// DepartedMembers / MajoritiesLost report the mid-epoch departure
+	// erosion (zero unless Config.MidEpochDepartures > 0).
+	DepartedMembers int
+	MajoritiesLost  int
+	// SearchMessages is the total secure-routing message cost of all
+	// construction searches this epoch.
+	SearchMessages int64
+	Searches       int64
+}
+
+// System is a running dynamic deployment.
+type System struct {
+	cfg   Config
+	rng   *rand.Rand
+	epoch int
+
+	ids  *ring.Ring          // current generation's ID set (the "old" ring)
+	bad  map[ring.Point]bool //
+	g    [2]*groups.Graph    // the two old group graphs (g[1] nil if !TwoGraphs)
+	blue []ring.Point        // bootstrap candidates: blue in every old graph
+}
+
+// New creates a system in its trusted-initialization state (Appendix X):
+// the two epoch-0 graphs are built directly with ground-truth memberships.
+func New(cfg Config) (*System, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.N < 8 {
+		return nil, fmt.Errorf("epoch: N = %d too small", cfg.N)
+	}
+	s := &System{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	pl := adversary.Place(adversary.Config{N: cfg.N, Beta: cfg.Params.Beta, Strategy: cfg.Strategy}, s.rng)
+	s.ids = pl.Ring()
+	s.bad = pl.BadSet()
+	ov, err := s.buildOverlay(s.ids)
+	if err != nil {
+		return nil, err
+	}
+	s.g[0] = groups.Build(ov, s.bad, cfg.Params, hashes.H1)
+	if cfg.TwoGraphs {
+		s.g[1] = groups.Build(ov, s.bad, cfg.Params, hashes.H2)
+	}
+	s.refreshBlue()
+	return s, nil
+}
+
+func (s *System) buildOverlay(r *ring.Ring) (overlay.Graph, error) {
+	for _, b := range overlay.Builders() {
+		if b.Name == s.cfg.Overlay {
+			return b.Build(r, s.cfg.Seed), nil
+		}
+	}
+	return nil, fmt.Errorf("epoch: unknown overlay %q", s.cfg.Overlay)
+}
+
+// refreshBlue recomputes the bootstrap-candidate list: leaders blue in
+// every live old graph.
+func (s *System) refreshBlue() {
+	s.blue = s.blue[:0]
+	for _, w := range s.ids.Points() {
+		ok := !s.g[0].Group(w).Red()
+		if ok && s.g[1] != nil {
+			ok = !s.g[1].Group(w).Red()
+		}
+		if ok {
+			s.blue = append(s.blue, w)
+		}
+	}
+}
+
+// Epoch returns the current epoch index.
+func (s *System) Epoch() int { return s.epoch }
+
+// Graphs returns the current old group graphs (the second is nil in
+// single-graph mode).
+func (s *System) Graphs() [2]*groups.Graph { return s.g }
+
+// Ring returns the current generation's ID set.
+func (s *System) Ring() *ring.Ring { return s.ids }
+
+// searchOutcome runs the §III-A dual search for point p from bootstrap
+// leader boot and reports whether each old-graph search succeeded, plus
+// message cost.
+func (s *System) searchOutcome(boot, p ring.Point, st *Stats) (ok1, ok2 bool) {
+	r1 := s.g[0].Search(boot, p)
+	st.SearchMessages += r1.Messages
+	st.Searches++
+	ok1 = r1.OK
+	if s.g[1] == nil {
+		return ok1, ok1
+	}
+	r2 := s.g[1].Search(boot, p)
+	st.SearchMessages += r2.Messages
+	st.Searches++
+	return ok1, r2.OK
+}
+
+// dualFails updates the q_f tallies and reports whether the step was
+// corrupted (all searches failed).
+func (s *System) dualFails(boot, p ring.Point, st *Stats, singles, duals *int) bool {
+	ok1, ok2 := s.searchOutcome(boot, p, st)
+	if !ok1 {
+		*singles++
+	}
+	if !ok1 && !ok2 {
+		*duals++
+		return true
+	}
+	return false
+}
+
+// randomBoot returns a bootstrap leader: a u.a.r. blue group (the paper's
+// assumption that joiners know a good bootstrapping group; Appendix IX).
+func (s *System) randomBoot() ring.Point {
+	if len(s.blue) == 0 {
+		// Degenerate: no blue groups — fall back to any leader.
+		return s.ids.At(s.rng.Intn(s.ids.Len()))
+	}
+	return s.blue[s.rng.Intn(len(s.blue))]
+}
+
+// randomBadOldID returns a u.a.r. bad ID from the old generation (the
+// adversary's worst-case substitute when it fully controls a lookup).
+func (s *System) randomBadOldID() (ring.Point, bool) {
+	if len(s.bad) == 0 {
+		return 0, false
+	}
+	k := s.rng.Intn(len(s.bad))
+	for id := range s.bad {
+		if k == 0 {
+			return id, true
+		}
+		k--
+	}
+	return 0, false
+}
+
+// RunEpoch advances the system one epoch: the whole population turns over
+// (n departures matched by n PoW-minted joins), the new group graphs are
+// built through the old ones, and the generations swap.
+func (s *System) RunEpoch() Stats {
+	st := Stats{Epoch: s.epoch + 1}
+	// New generation of IDs: good participants re-mint; the adversary
+	// mints βn u.a.r. IDs and injects per its strategy (Lemma 11 bounds).
+	// Under SizeDrift the population swings by a constant factor (§III's
+	// Θ(n) remark).
+	newN := s.cfg.N
+	if s.cfg.SizeDrift > 0 {
+		if s.epoch%2 == 0 {
+			newN = int(float64(s.cfg.N) * (1 - s.cfg.SizeDrift))
+		} else {
+			newN = int(float64(s.cfg.N) * (1 + s.cfg.SizeDrift))
+		}
+	}
+	st.N = newN
+	pl := adversary.Place(adversary.Config{
+		N: newN, Beta: s.cfg.Params.Beta, Strategy: s.cfg.Strategy,
+	}, s.rng)
+	newRing := pl.Ring()
+	newBad := pl.BadSet()
+	newOv, err := s.buildOverlay(newRing)
+	if err != nil {
+		panic(err) // config was validated in New
+	}
+
+	size := s.cfg.Params.SizeFor(newRing.Len())
+	nGraphs := 1
+	if s.cfg.TwoGraphs {
+		nGraphs = 2
+	}
+	hashFns := [2]hashes.Func{hashes.H1, hashes.H2}
+	members := [2]map[ring.Point][]groups.Member{
+		make(map[ring.Point][]groups.Member, newRing.Len()),
+		make(map[ring.Point][]groups.Member, newRing.Len()),
+	}
+	confused := [2]map[ring.Point]bool{
+		make(map[ring.Point]bool),
+		make(map[ring.Point]bool),
+	}
+	singles, duals := 0, 0
+
+	for _, w := range newRing.Points() {
+		boot := s.randomBoot()
+		for l := 0; l < nGraphs; l++ {
+			// Group-membership requests (§III-A).
+			mlist := make([]groups.Member, 0, size)
+			for i := 1; i <= size; i++ {
+				p := hashFns[l].PointAt(w, i)
+				if s.dualFails(boot, p, &st, &singles, &duals) {
+					// Both location searches failed: the adversary answers.
+					if id, ok := s.randomBadOldID(); ok {
+						mlist = append(mlist, groups.Member{ID: id, Bad: true})
+						st.ForcedBadMembers++
+					}
+					continue
+				}
+				u := s.ids.Successor(p)
+				if !s.bad[u] && s.cfg.VerifyRequests {
+					// u verifies the request by its own dual search; if all
+					// of u's searches fail, it erroneously rejects.
+					if s.dualFails(u, p, &st, &singles, &duals) {
+						st.ErroneousRejects++
+						continue
+					}
+				}
+				mlist = append(mlist, groups.Member{ID: u, Bad: s.bad[u]})
+			}
+			members[l][w] = mlist
+
+			// Neighbor requests (§III-A): locate every element of L_w and
+			// have it verify; a failure on either side leaves G_w confused
+			// (Lemma 8).
+			for _, u := range newOv.Neighbors(w) {
+				if s.dualFails(boot, u, &st, &singles, &duals) {
+					confused[l][w] = true
+					continue
+				}
+				if newBad[u] || !s.cfg.VerifyRequests {
+					continue
+				}
+				// u's verification searches run in the old graphs from u's
+				// bootstrap position (u is a new ID; its searches go
+				// through its own bootstrap group while the new graphs are
+				// under construction).
+				if s.dualFails(s.randomBoot(), u, &st, &singles, &duals) {
+					st.ErroneousRejects++
+					confused[l][w] = true
+				}
+			}
+		}
+	}
+
+	// Spam attack (Lemma 10 / E12): each bad new ID issues bogus
+	// membership requests to random good old IDs; the target's dual
+	// verification search catches them unless both searches fail.
+	if s.cfg.SpamFactor > 0 {
+		goodOld := make([]ring.Point, 0, s.ids.Len())
+		for _, id := range s.ids.Points() {
+			if !s.bad[id] {
+				goodOld = append(goodOld, id)
+			}
+		}
+		for range pl.Bad {
+			for k := 0; k < s.cfg.SpamFactor; k++ {
+				u := goodOld[s.rng.Intn(len(goodOld))]
+				if !s.cfg.VerifyRequests {
+					st.SpamAccepted++
+					continue
+				}
+				// A bogus request never hashes to u, so u accepts only if
+				// both of its verification searches fail.
+				p := ring.Point(s.rng.Uint64())
+				if s.dualFails(u, p, &st, &singles, &duals) {
+					st.SpamAccepted++
+				}
+			}
+		}
+	}
+
+	// Assemble the new graphs and classify.
+	var newG [2]*groups.Graph
+	newG[0] = groups.BuildExplicit(newOv, newBad, s.cfg.Params, members[0], confused[0])
+	if s.cfg.TwoGraphs {
+		newG[1] = groups.BuildExplicit(newOv, newBad, s.cfg.Params, members[1], confused[1])
+	}
+
+	// Mid-epoch departures (§III churn model): a fraction of the serving
+	// generation's good IDs goes offline, eroding the groups they serve in.
+	if s.cfg.MidEpochDepartures > 0 {
+		departed := map[ring.Point]bool{}
+		for _, id := range s.ids.Points() {
+			if !s.bad[id] && s.rng.Float64() < s.cfg.MidEpochDepartures {
+				departed[id] = true
+			}
+		}
+		for l := 0; l < nGraphs; l++ {
+			rep := newG[l].RemoveMembers(departed)
+			st.DepartedMembers += rep.Departed
+			st.MajoritiesLost += rep.LostMajority + rep.Undersized
+		}
+	}
+
+	st.RedFraction[0] = newG[0].RedFraction()
+	if s.cfg.TwoGraphs {
+		st.RedFraction[1] = newG[1].RedFraction()
+	}
+
+	if st.Searches > 0 {
+		st.QfSingle = float64(singles) / float64(st.Searches)
+		denom := st.Searches
+		if s.cfg.TwoGraphs {
+			denom = st.Searches / 2
+		}
+		st.QfDual = float64(duals) / float64(denom)
+	}
+
+	// Lemma 10: membership state of the serving (old) generation.
+	totalMemberships := 0
+	goodServing := 0
+	for _, id := range s.ids.Points() {
+		if s.bad[id] {
+			continue
+		}
+		goodServing++
+		totalMemberships += len(newG[0].MemberOf(id))
+	}
+	if goodServing > 0 {
+		st.MeanMemberships = float64(totalMemberships) / float64(goodServing)
+	}
+
+	// Post-construction robustness of the new generation.
+	probe := newG[0].MeasureRobustness(512, s.rng)
+	st.SearchFailRate = probe.SearchFailRate
+	if s.cfg.TwoGraphs {
+		probe2 := newG[1].MeasureRobustness(512, s.rng)
+		st.SearchFailRate = (st.SearchFailRate + probe2.SearchFailRate) / 2
+	}
+
+	// Swap generations.
+	s.ids = newRing
+	s.bad = newBad
+	s.g = newG
+	s.refreshBlue()
+	s.epoch++
+	return st
+}

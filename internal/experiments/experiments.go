@@ -1,0 +1,76 @@
+// Package experiments regenerates every evaluation artifact of DESIGN.md §6:
+// one table (or series) per analytic claim of the paper. Each experiment is
+// a pure function of its Options, so CLI runs and benchmarks are
+// reproducible bit-for-bit given a seed.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// Options tune an experiment run.
+type Options struct {
+	// Quick shrinks sweeps for use in tests and benchmarks.
+	Quick bool
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Result is one regenerated table plus interpretation notes.
+type Result struct {
+	ID    string
+	Title string
+	Table *metrics.Table
+	Notes []string
+}
+
+// Experiment is a named, runnable experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) Result
+}
+
+// All lists every experiment in DESIGN.md order.
+func All() []Experiment {
+	return []Experiment{
+		{"e1", "Static search success (Lemma 4 / Thm 3)", E1StaticSearch},
+		{"e2", "Bad-group probability vs group size (S2/Lemma 9 shape)", E2BadGroups},
+		{"e3", "Cost table: tiny vs Θ(log n) groups (Corollary 1)", E3Costs},
+		{"e4", "Dynamic ε-robustness across epochs (Theorem 3)", E4Dynamic},
+		{"e5", "Two-graph vs single-graph ablation (§III intuition)", E5Ablation},
+		{"e6", "PoW minting bound and uniformity (Lemma 11)", E6PoW},
+		{"e7", "Global random-string lottery (Lemma 12)", E7Lottery},
+		{"e8", "Group-size knee: o(log log n) fails (§I-D)", E8Knee},
+		{"e9", "Input-graph properties P1–P4 (+ Lemma 5)", E9InputGraphs},
+		{"e10", "Cuckoo-rule baseline vs tiny groups ([47] anchor)", E10Cuckoo},
+		{"e11", "Pre-computation attack vs string rotation (§IV-B)", E11Precompute},
+		{"e12", "Verification caps state under spam (Lemma 10)", E12State},
+		{"e13", "Byzantine agreement inside groups (§I building block)", E13BA},
+		{"e14", "Secure routing protocol: majority filtering (§I mechanism)", E14SecureRouting},
+		{"e15", "Mid-epoch departures vs the ε'/2 bound (§III churn model)", E15Departures},
+		{"e16", "Bootstrapping sets (Appendix IX)", E16Bootstrap},
+		{"e17", "Overlay ablation: route length vs degree (design choice)", E17OverlayAblation},
+		{"e18", "Quarantine of misbehaving members (footnote 2 extension)", E18Quarantine},
+		{"e19", "Adaptive PoW: work only when attacked (conclusion / [22])", E19AdaptivePoW},
+		{"e20", "System size Θ(n) oscillation (§III remark)", E20SizeDrift},
+	}
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func f3(x float64) string   { return fmt.Sprintf("%.3f", x) }
+func f4(x float64) string   { return fmt.Sprintf("%.4f", x) }
+func f1(x float64) string   { return fmt.Sprintf("%.1f", x) }
+func itoa(x int) string     { return fmt.Sprintf("%d", x) }
+func i64toa(x int64) string { return fmt.Sprintf("%d", x) }

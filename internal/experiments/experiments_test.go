@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunQuick executes every experiment in quick mode and
+// checks the structural contract: non-empty table, consistent column
+// counts, notes present.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res := e.Run(Options{Quick: true, Seed: 1})
+			if res.ID != e.ID {
+				t.Errorf("result ID %q != experiment ID %q", res.ID, e.ID)
+			}
+			if res.Table == nil || len(res.Table.Rows) == 0 {
+				t.Fatal("experiment produced no rows")
+			}
+			for i, row := range res.Table.Rows {
+				if len(row) != len(res.Table.Header) {
+					t.Errorf("row %d has %d cells, header has %d", i, len(row), len(res.Table.Header))
+				}
+			}
+			if len(res.Notes) == 0 {
+				t.Error("experiment has no interpretation notes")
+			}
+			if !strings.Contains(res.Table.String(), res.Table.Header[0]) {
+				t.Error("table failed to render")
+			}
+		})
+	}
+}
+
+func TestLookupFindsAll(t *testing.T) {
+	for _, e := range All() {
+		got, ok := Lookup(e.ID)
+		if !ok || got.ID != e.ID {
+			t.Errorf("Lookup(%q) failed", e.ID)
+		}
+	}
+	if _, ok := Lookup("e99"); ok {
+		t.Error("Lookup must reject unknown IDs")
+	}
+}
+
+// TestE1ShapeHolds spot-checks the headline claim in quick mode: the static
+// search failure rate is small at both sampled sizes.
+func TestE1ShapeHolds(t *testing.T) {
+	res := E1StaticSearch(Options{Quick: true, Seed: 2})
+	for _, row := range res.Table.Rows {
+		fail, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatalf("bad cell: %v", err)
+		}
+		if fail > 0.10 {
+			t.Errorf("n=%s beta=%s: searchFail %s exceeds 0.10", row[0], row[1], row[4])
+		}
+	}
+}
+
+// TestE5AblationShape spot-checks the two-graph advantage: the final-epoch
+// red fraction under one graph must exceed the two-graph one.
+func TestE5AblationShape(t *testing.T) {
+	res := E5Ablation(Options{Quick: true, Seed: 3})
+	var lastTwo, lastOne float64
+	for _, row := range res.Table.Rows {
+		v, _ := strconv.ParseFloat(row[3], 64)
+		if row[0] == "2" {
+			lastTwo = v
+		} else {
+			lastOne = v
+		}
+	}
+	if lastOne < lastTwo {
+		t.Errorf("ablation inverted: single-graph redFrac %.4f < two-graph %.4f", lastOne, lastTwo)
+	}
+}
+
+// TestE13Perfect: agreement and validity must be exact.
+func TestE13Perfect(t *testing.T) {
+	res := E13BA(Options{Quick: true, Seed: 4})
+	for _, row := range res.Table.Rows {
+		if row[3] != "1.000" || row[4] != "1.000" {
+			t.Errorf("BA row %v: agreement/validity below 1", row)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package groups
+
+import (
+	"repro/internal/overlay"
+	"repro/internal/ring"
+)
+
+// BuildExplicit constructs a group graph from externally assembled
+// memberships — the dynamic case (§III), where the members of each new
+// group were located by (possibly failing) searches in the old group
+// graphs rather than read off the ground-truth ring.
+//
+// members maps each leader (every ID of ov's ring must appear) to its
+// member list; confused marks groups whose neighbor establishment failed
+// (Lemma 8). Missing or short member lists yield bad groups via the size
+// criterion (definition (i)).
+func BuildExplicit(ov overlay.Graph, badIDs map[ring.Point]bool, params Params,
+	members map[ring.Point][]Member, confused map[ring.Point]bool) *Graph {
+
+	r := ov.Ring()
+	g := &Graph{
+		ov:       ov,
+		params:   params,
+		badIDs:   badIDs,
+		groups:   make(map[ring.Point]*Group, r.Len()),
+		memberOf: make(map[ring.Point][]ring.Point, r.Len()),
+		size:     params.SizeFor(r.Len()),
+	}
+	for _, w := range r.Points() {
+		grp := &Group{Leader: w, Members: members[w], Confused: confused[w]}
+		g.classify(grp)
+		g.groups[w] = grp
+		for _, m := range grp.Members {
+			g.memberOf[m.ID] = append(g.memberOf[m.ID], w)
+		}
+	}
+	return g
+}
+
+// BlueLeaders returns the leaders of all blue (non-red) groups, the
+// candidate bootstrap groups for joins (§III-A assumes a joining ID knows a
+// good bootstrapping group).
+func (g *Graph) BlueLeaders() []ring.Point {
+	var out []ring.Point
+	for _, w := range g.ov.Ring().Points() {
+		if grp := g.groups[w]; grp != nil && !grp.Red() {
+			out = append(out, w)
+		}
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+// Package groups implements the paper's group graph G (§II): for every ID w
+// in the input graph H there is a group G_w of Θ(log log n) IDs led by w.
+// Groups are blue (good with correct neighbor sets) or red (bad or
+// confused); searches proceed along overlay routes lifted to groups, with
+// all-to-all exchange between consecutive groups, and a search fails
+// exactly when its search path traverses a red group.
+package groups
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hashes"
+	"repro/internal/overlay"
+	"repro/internal/ring"
+)
+
+// Params fixes the group-size and classification constants of §I-C.
+type Params struct {
+	// D1, D2 bound the group size: d1·ln ln n ≤ |G| ≤ d2·ln ln n. Groups
+	// are built with d2·ln ln n solicitations; a group that ends up below
+	// d1·ln ln n members is bad by definition (i).
+	D1, D2 float64
+	// MinSize clamps the group size from below so small-n simulations stay
+	// meaningful (ln ln n < 3 for n < 10⁹).
+	MinSize int
+	// Beta is the adversary's ID fraction; Delta the slack of definition
+	// (ii): a group is bad when its bad members exceed (1+Delta)·Beta·|G|.
+	Beta, Delta float64
+	// MajorityRule switches classification to the operational secure-routing
+	// criterion: bad iff bad members ≥ half (majority filtering broken).
+	// Definition (ii) with tiny groups only bites at astronomically large
+	// n; the majority rule is what search correctness actually needs, so
+	// experiments default to it. Set false for the strict paper definition.
+	MajorityRule bool
+}
+
+// DefaultParams returns the parameter defaults used across experiments
+// (DESIGN.md §8).
+func DefaultParams() Params {
+	return Params{D1: 2, D2: 3, MinSize: 6, Beta: 0.10, Delta: 0.25, MajorityRule: true}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.D1 <= 0 || p.D2 < p.D1 {
+		return fmt.Errorf("groups: need 0 < D1 ≤ D2, got D1=%v D2=%v", p.D1, p.D2)
+	}
+	if p.Beta < 0 || p.Beta >= 0.5 {
+		return fmt.Errorf("groups: need 0 ≤ Beta < 1/2, got %v", p.Beta)
+	}
+	if (1+p.Delta)*p.Beta >= 0.5 {
+		return fmt.Errorf("groups: (1+Delta)·Beta = %v must stay below 1/2 for a good majority", (1+p.Delta)*p.Beta)
+	}
+	return nil
+}
+
+// SizeFor returns the target group size d2·ln ln n (clamped to MinSize).
+func (p Params) SizeFor(n int) int {
+	if n < 3 {
+		n = 3
+	}
+	s := int(math.Round(p.D2 * math.Log(math.Log(float64(n)))))
+	if s < p.MinSize {
+		s = p.MinSize
+	}
+	return s
+}
+
+// MinSizeFor returns the lower size bound d1·ln ln n (clamped proportionally).
+func (p Params) MinSizeFor(n int) int {
+	if n < 3 {
+		n = 3
+	}
+	s := int(math.Round(p.D1 * math.Log(math.Log(float64(n)))))
+	min := int(float64(p.MinSize) * p.D1 / p.D2)
+	if s < min {
+		s = min
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Member is one ID inside a group.
+type Member struct {
+	ID  ring.Point
+	Bad bool
+}
+
+// Group is G_w: the leader w plus its solicited members.
+type Group struct {
+	Leader   ring.Point
+	Members  []Member
+	Bad      bool // definition (i) or (ii) violated (or majority rule)
+	Confused bool // neighbor set incorrectly established (§III-B)
+}
+
+// Red reports whether the group is red: bad or confused (§II terminology).
+func (g *Group) Red() bool { return g.Bad || g.Confused }
+
+// Size returns the number of members.
+func (g *Group) Size() int { return len(g.Members) }
+
+// BadCount returns the number of Byzantine members.
+func (g *Group) BadCount() int {
+	c := 0
+	for _, m := range g.Members {
+		if m.Bad {
+			c++
+		}
+	}
+	return c
+}
+
+// Graph is the group graph G over an input graph H.
+type Graph struct {
+	ov     overlay.Graph
+	params Params
+	hash   hashes.Func
+	badIDs map[ring.Point]bool
+	groups map[ring.Point]*Group
+	// memberOf indexes which groups each ID belongs to (state accounting,
+	// Lemma 10).
+	memberOf map[ring.Point][]ring.Point
+	size     int // target group size used at build time
+}
+
+// Build constructs the group graph over ov. The i-th member of G_w is
+// suc(h(w,i)) for i = 1..d2·ln ln n (§III-A's membership rule, applied
+// statically). badIDs marks the adversary's IDs; classification follows
+// params. In the static case neighbor sets of good groups are correct by
+// construction, so no group starts confused.
+func Build(ov overlay.Graph, badIDs map[ring.Point]bool, params Params, h hashes.Func) *Graph {
+	return BuildSized(ov, badIDs, params, h, params.SizeFor(ov.Ring().Len()))
+}
+
+// BuildSized is Build with an explicit group size — used by the Θ(log n)
+// baseline construction and by group-size sweeps (experiment E8).
+func BuildSized(ov overlay.Graph, badIDs map[ring.Point]bool, params Params, h hashes.Func, size int) *Graph {
+	r := ov.Ring()
+	n := r.Len()
+	g := &Graph{
+		ov:       ov,
+		params:   params,
+		hash:     h,
+		badIDs:   badIDs,
+		groups:   make(map[ring.Point]*Group, n),
+		memberOf: make(map[ring.Point][]ring.Point, n),
+		size:     size,
+	}
+	for _, w := range r.Points() {
+		grp := &Group{Leader: w, Members: make([]Member, 0, size)}
+		for i := 1; i <= size; i++ {
+			id := r.Successor(h.PointAt(w, i))
+			grp.Members = append(grp.Members, Member{ID: id, Bad: badIDs[id]})
+			g.memberOf[id] = append(g.memberOf[id], w)
+		}
+		g.classify(grp)
+		g.groups[w] = grp
+	}
+	return g
+}
+
+// classify applies the bad-group criterion of params to grp. The size
+// floor is d1/d2 of the solicited size (the paper solicits d2·ln ln n
+// members and requires at least d1·ln ln n, definition (i)); expressing it
+// relative to the built size keeps size sweeps (E8) meaningful.
+func (g *Graph) classify(grp *Group) {
+	sz := grp.Size()
+	bad := grp.BadCount()
+	floor := int(math.Ceil(float64(g.size) * g.params.D1 / g.params.D2))
+	if floor < 1 {
+		floor = 1
+	}
+	if sz < floor {
+		grp.Bad = true
+		return
+	}
+	if g.params.MajorityRule {
+		grp.Bad = 2*bad >= sz
+	} else {
+		grp.Bad = float64(bad) > (1+g.params.Delta)*g.params.Beta*float64(sz)
+	}
+}
+
+// Overlay returns the underlying input graph.
+func (g *Graph) Overlay() overlay.Graph { return g.ov }
+
+// Params returns the build parameters.
+func (g *Graph) Params() Params { return g.params }
+
+// GroupSize returns the target group size used at build time.
+func (g *Graph) GroupSize() int { return g.size }
+
+// Group returns G_w, or nil if w leads no group.
+func (g *Graph) Group(w ring.Point) *Group { return g.groups[w] }
+
+// Groups iterates over all groups in ring order of their leaders.
+func (g *Graph) Groups() []*Group {
+	out := make([]*Group, 0, len(g.groups))
+	for _, w := range g.ov.Ring().Points() {
+		if grp := g.groups[w]; grp != nil {
+			out = append(out, grp)
+		}
+	}
+	return out
+}
+
+// N returns the number of groups.
+func (g *Graph) N() int { return len(g.groups) }
+
+// IsBad reports whether the ID id is Byzantine.
+func (g *Graph) IsBad(id ring.Point) bool { return g.badIDs[id] }
+
+// MemberOf returns the leaders of all groups containing id.
+func (g *Graph) MemberOf(id ring.Point) []ring.Point { return g.memberOf[id] }
+
+// SetConfused marks G_w as confused (used by the dynamic construction when
+// a neighbor request fails, §III-B).
+func (g *Graph) SetConfused(w ring.Point, confused bool) {
+	if grp := g.groups[w]; grp != nil {
+		grp.Confused = confused
+	}
+}
+
+// RedFraction returns the fraction of red groups — the empirical p_f of S2.
+func (g *Graph) RedFraction() float64 {
+	red := 0
+	for _, grp := range g.groups {
+		if grp.Red() {
+			red++
+		}
+	}
+	return float64(red) / float64(len(g.groups))
+}
+
+// BadFraction returns the fraction of bad (not merely confused) groups.
+func (g *Graph) BadFraction() float64 {
+	bad := 0
+	for _, grp := range g.groups {
+		if grp.Bad {
+			bad++
+		}
+	}
+	return float64(bad) / float64(len(g.groups))
+}

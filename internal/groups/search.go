@@ -1,0 +1,152 @@
+package groups
+
+import (
+	"math/rand"
+
+	"repro/internal/ring"
+)
+
+// SearchResult describes one search in the group graph.
+type SearchResult struct {
+	// Path is the search path: the prefix of the lifted overlay route up to
+	// and including the first red group (§II: responsibility is defined on
+	// search paths because the adversary controls routing after the first
+	// red group).
+	Path []ring.Point
+	// OK is true iff the search traversed only blue groups and the overlay
+	// route terminated (the search succeeded).
+	OK bool
+	// FailedAt is the index into Path of the first red group, or -1.
+	FailedAt int
+	// Messages counts the secure-routing cost actually incurred: |G_a|·|G_b|
+	// per traversed group-graph edge (all-to-all exchange), accumulated
+	// until success or first failure.
+	Messages int64
+}
+
+// Search runs a search initiated by the group G_src for key. It lifts the
+// overlay route src → suc(key) to groups and walks it, charging all-to-all
+// messages per hop, until it either completes (all blue) or hits the first
+// red group.
+func (g *Graph) Search(src, key ring.Point) SearchResult {
+	route, ok := g.ov.Route(src, key)
+	res := SearchResult{FailedAt: -1}
+	if !ok {
+		// The overlay itself failed to route (cannot happen on an honest
+		// ring; treated as failure).
+		res.Path = route
+		return res
+	}
+	var prev *Group
+	for i, w := range route {
+		grp := g.groups[w]
+		if grp == nil {
+			// Route passed through an ID with no group (cannot happen when
+			// every ID leads a group); treat as red.
+			res.Path = append(res.Path, w)
+			res.FailedAt = i
+			return res
+		}
+		res.Path = append(res.Path, w)
+		if prev != nil {
+			res.Messages += int64(prev.Size()) * int64(grp.Size())
+		}
+		if grp.Red() {
+			res.FailedAt = i
+			return res
+		}
+		prev = grp
+	}
+	res.OK = true
+	return res
+}
+
+// Robustness aggregates the ε-robustness measurements of Theorem 3.
+type Robustness struct {
+	N              int
+	GroupSize      int
+	RedFraction    float64 // fraction of red groups (1 − first bullet of Thm 3)
+	SearchFailRate float64 // fraction of failed searches (1 − second bullet)
+	MeanRouteLen   float64 // groups traversed per successful search
+	MeanMessages   float64 // messages per search (secure-routing cost)
+	Samples        int
+}
+
+// MeasureRobustness runs `samples` searches from u.a.r. *good-led* groups to
+// u.a.r. keys and reports failure rates and costs. Searches initiated at
+// red groups are counted as failures attributed to the initiating ID (the
+// paper's second bullet: all but an ε-fraction of IDs can search).
+func (g *Graph) MeasureRobustness(samples int, rng *rand.Rand) Robustness {
+	r := g.ov.Ring()
+	n := r.Len()
+	rob := Robustness{N: n, GroupSize: g.size, RedFraction: g.RedFraction(), Samples: samples}
+	fails := 0
+	var totalMsgs int64
+	totalLen := 0
+	okCount := 0
+	for i := 0; i < samples; i++ {
+		src := r.At(rng.Intn(n))
+		key := ring.Point(rng.Uint64())
+		res := g.Search(src, key)
+		totalMsgs += res.Messages
+		if !res.OK {
+			fails++
+			continue
+		}
+		okCount++
+		totalLen += len(res.Path)
+	}
+	rob.SearchFailRate = float64(fails) / float64(samples)
+	rob.MeanMessages = float64(totalMsgs) / float64(samples)
+	if okCount > 0 {
+		rob.MeanRouteLen = float64(totalLen) / float64(okCount)
+	}
+	return rob
+}
+
+// Costs quantifies Corollary 1 for this graph.
+type Costs struct {
+	GroupSize         int
+	GroupCommMsgs     int64   // |G|² per intra-group operation
+	RoutingMsgsPerHop float64 // mean |G_a|·|G_b| over group-graph edges
+	MeanStatePerID    float64 // Lemma 10 state: members of own groups + neighbor-group members
+	MaxStatePerID     int
+}
+
+// MeasureCosts samples per-ID state and per-edge routing cost.
+// State of an ID u = Σ over groups containing u of |G| (membership state)
+// + Σ over the neighbor groups of u's own group of |G| (link state).
+func (g *Graph) MeasureCosts(sampleIDs int, rng *rand.Rand) Costs {
+	r := g.ov.Ring()
+	n := r.Len()
+	c := Costs{GroupSize: g.size, GroupCommMsgs: int64(g.size) * int64(g.size)}
+	if sampleIDs > n {
+		sampleIDs = n
+	}
+	totalState := 0
+	var hopCost int64
+	hops := 0
+	for i := 0; i < sampleIDs; i++ {
+		u := r.At(rng.Intn(n))
+		state := 0
+		for _, leader := range g.memberOf[u] {
+			state += g.groups[leader].Size()
+		}
+		for _, nb := range g.ov.Neighbors(u) {
+			if grp := g.groups[nb]; grp != nil {
+				state += grp.Size()
+				hopCost += int64(g.groups[u].Size()) * int64(grp.Size())
+				hops++
+			}
+		}
+		totalState += state
+		if state > c.MaxStatePerID {
+			c.MaxStatePerID = state
+		}
+	}
+	c.MeanStatePerID = float64(totalState) / float64(sampleIDs)
+	if hops > 0 {
+		c.RoutingMsgsPerHop = float64(hopCost) / float64(hops)
+	}
+	return c
+}

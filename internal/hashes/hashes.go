@@ -1,0 +1,95 @@
+// Package hashes provides the random-oracle hash families the paper assumes
+// (§I-C, §IV-A): functions with domain and range [0,1) whose outputs are
+// modeled as uniformly distributed on first query.
+//
+// The paper names five: h₁ and h₂ (group-membership points, §III-A), f and g
+// (the two-hash-composition ID-generation scheme, §IV-A), and h (string
+// outputs for the global-randomness lottery, Appendix VIII). We realize all
+// of them as SHA-256 with domain-separation tags, which under the
+// random-oracle assumption gives independent uniform functions. Range
+// elements are ring.Point values (64-bit fixed point in [0,1)).
+package hashes
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"repro/internal/ring"
+)
+
+// Func is a keyed random-oracle hash with range [0,1).
+type Func struct {
+	tag []byte
+}
+
+// Named oracle instances matching the paper's notation.
+var (
+	// H1 and H2 locate the members of a group: the i-th member of G_w is
+	// suc(h₁(w,i)) in graph 1 and suc(h₂(w,i)) in graph 2 (§III-A).
+	H1 = NewFunc("h1")
+	H2 = NewFunc("h2")
+	// F and G compose to mint IDs: the ID is f(g(σ ⊕ r)) when
+	// g(σ ⊕ r) ≤ τ (§IV-A).
+	F = NewFunc("f")
+	G = NewFunc("g")
+	// H scores lottery strings in the global-randomness protocol
+	// (Appendix VIII).
+	H = NewFunc("h")
+)
+
+// NewFunc returns an independent random-oracle function identified by tag.
+// Distinct tags behave as independent oracles.
+func NewFunc(tag string) Func {
+	return Func{tag: []byte(tag)}
+}
+
+// Point hashes an arbitrary byte string to a point in [0,1).
+func (f Func) Point(data []byte) ring.Point {
+	h := sha256.New()
+	h.Write(f.tag)
+	h.Write([]byte{0})
+	h.Write(data)
+	var sum [sha256.Size]byte
+	return ring.Point(binary.BigEndian.Uint64(h.Sum(sum[:0])))
+}
+
+// PointAt hashes a (point, index) pair, the paper's h(w, i) form used to
+// derive the i-th member location of group G_w.
+func (f Func) PointAt(w ring.Point, i int) ring.Point {
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], uint64(w))
+	binary.BigEndian.PutUint64(buf[8:], uint64(i))
+	return f.Point(buf[:])
+}
+
+// OfPoint hashes a single point, the composition form f(g(·)) of §IV-A.
+func (f Func) OfPoint(p ring.Point) ring.Point {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(p))
+	return f.Point(buf[:])
+}
+
+// Bytes hashes data to a 32-byte digest (used where a full-width string is
+// needed, e.g. lottery strings).
+func (f Func) Bytes(data []byte) [32]byte {
+	h := sha256.New()
+	h.Write(f.tag)
+	h.Write([]byte{1})
+	h.Write(data)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// XOR returns a ⊕ b, the paper's σ ⊕ r operation on ℓ·ln n-bit strings.
+func XOR(a, b []byte) []byte {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		out[i] = a[i] ^ b[i]
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.N() != 0 {
+		t.Error("empty summary should be zero")
+	}
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		s.Add(x)
+	}
+	if s.N() != 5 || s.Mean() != 3 || s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("summary wrong: n=%d mean=%v min=%v max=%v", s.N(), s.Mean(), s.Min(), s.Max())
+	}
+	if math.Abs(s.Var()-2.5) > 1e-9 {
+		t.Errorf("var = %v, want 2.5", s.Var())
+	}
+	if math.Abs(s.Std()-math.Sqrt(2.5)) > 1e-9 {
+		t.Errorf("std wrong")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	var s Summary
+	for i := 100; i >= 1; i-- { // reverse order: quantile must sort
+		s.Add(float64(i))
+	}
+	if q := s.Quantile(0); q != 1 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := s.Quantile(1); q != 100 {
+		t.Errorf("q1 = %v", q)
+	}
+	if q := s.Quantile(0.5); math.Abs(q-50) > 2 {
+		t.Errorf("median = %v", q)
+	}
+	var empty Summary
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+}
+
+func TestChiSquareAcceptsUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 16)
+	for i := 0; i < 16000; i++ {
+		counts[rng.Intn(16)]++
+	}
+	stat, ok := ChiSquareUniform(counts)
+	if !ok {
+		t.Errorf("uniform sample rejected, stat=%v", stat)
+	}
+}
+
+func TestChiSquareRejectsSkewed(t *testing.T) {
+	counts := make([]int, 16)
+	counts[0] = 1000
+	for i := 1; i < 16; i++ {
+		counts[i] = 100
+	}
+	if _, ok := ChiSquareUniform(counts); ok {
+		t.Error("heavily skewed sample accepted")
+	}
+}
+
+func TestChiSquareDegenerate(t *testing.T) {
+	if _, ok := ChiSquareUniform(nil); !ok {
+		t.Error("empty counts should pass trivially")
+	}
+	if _, ok := ChiSquareUniform([]int{0, 0, 0}); !ok {
+		t.Error("all-zero counts should pass trivially")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{Header: []string{"n", "rate"}}
+	tab.Append("1024", "0.01")
+	tab.Append("65536", "0.001")
+	out := tab.String()
+	if !strings.Contains(out, "n") || !strings.Contains(out, "65536") {
+		t.Errorf("table missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines, want 4", len(lines))
+	}
+}

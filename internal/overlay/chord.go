@@ -1,0 +1,88 @@
+package overlay
+
+import (
+	"repro/internal/ring"
+)
+
+// Chord is the classic Θ(log N)-degree DHT of Stoica et al. [48], the
+// paper's running example for property P3 (footnote 11): the neighbors of w
+// are its ring successor and predecessor plus the successors of the points
+// w + Δ(i) for exponentially increasing distances Δ(i) = 1/2^i.
+type Chord struct {
+	r *ring.Ring
+	m int // number of finger levels, ceil(log2 N) + fingerSlack
+	// memo caches finger tables: the ring is treated as immutable once a
+	// Chord is built (epoch churn builds a fresh graph), and the dynamic
+	// construction re-resolves the same nodes' neighbor sets constantly.
+	// Not safe for concurrent use.
+	memo map[ring.Point][]ring.Point
+}
+
+// fingerSlack adds levels beyond log2 N so the densest finger reaches the
+// immediate neighborhood even under adversarially uneven ID placement.
+const fingerSlack = 2
+
+// NewChord builds a Chord graph over the IDs on r. The ring must not be
+// mutated afterwards (build a new graph instead).
+func NewChord(r *ring.Ring) *Chord {
+	return &Chord{r: r, m: log2Ceil(r.Len()) + fingerSlack, memo: make(map[ring.Point][]ring.Point)}
+}
+
+func (c *Chord) Name() string     { return "chord" }
+func (c *Chord) Ring() *ring.Ring { return c.r }
+
+// MaxHops bounds routes at 4·log2 N + 16: greedy Chord routing halves the
+// remaining distance every hop w.h.p., so this is generous.
+func (c *Chord) MaxHops() int { return 4*log2Ceil(c.r.Len()) + 16 }
+
+// Neighbors returns S_w: ring successor, ring predecessor, and the finger
+// successors suc(w + 1/2^i) for i = 1..m.
+func (c *Chord) Neighbors(w ring.Point) []ring.Point {
+	if s, ok := c.memo[w]; ok {
+		return s
+	}
+	s := make([]ring.Point, 0, c.m+2)
+	s = appendUnique(s, c.r.StrictSuccessor(w))
+	s = appendUnique(s, c.r.Predecessor(w))
+	for i := 1; i <= c.m; i++ {
+		delta := ring.Point(1) << (64 - uint(i)) // 1/2^i of the ring
+		f := c.r.Successor(w + delta)
+		if f != w {
+			s = appendUnique(s, f)
+		}
+	}
+	c.memo[w] = s
+	return s
+}
+
+// Route performs greedy Chord routing: at each step, hop to the neighbor
+// that makes the most clockwise progress toward the key's owner without
+// overshooting it.
+func (c *Chord) Route(src, key ring.Point) ([]ring.Point, bool) {
+	target := c.r.Successor(key)
+	path := []ring.Point{src}
+	cur := src
+	for hop := 0; hop < c.MaxHops(); hop++ {
+		if cur == target {
+			return path, true
+		}
+		goal := cur.Dist(target)
+		var best ring.Point
+		var bestProg ring.Point
+		for _, nb := range c.Neighbors(cur) {
+			prog := cur.Dist(nb)
+			if prog != 0 && prog <= goal && prog > bestProg {
+				best, bestProg = nb, prog
+			}
+		}
+		if bestProg == 0 {
+			// No neighbor precedes the target: the strict successor is the
+			// target itself (it is always a neighbor), so this is
+			// unreachable on a consistent ring; fail defensively.
+			return path, false
+		}
+		cur = best
+		path = append(path, cur)
+	}
+	return path, cur == target
+}

@@ -1,0 +1,207 @@
+package overlay
+
+import (
+	"encoding/binary"
+
+	"repro/internal/ring"
+)
+
+// Viceroy is a butterfly-network overlay in the style of Malkhi, Naor and
+// Ratajczak [32]: each ID independently selects a level ℓ ∈ {1..L},
+// L ≈ log2 N, and links to
+//
+//   - an "up" node: the first level-(ℓ−1) ID clockwise of it,
+//   - a "down-left" node: the first level-(ℓ+1) ID clockwise of it,
+//   - a "down-right" node: the first level-(ℓ+1) ID clockwise of the point
+//     half a level-width away (distance 1/2^ℓ),
+//   - its same-level ring neighbors and its general ring neighbors.
+//
+// Degree is O(1). Routing proceeds up to level 1, descends the butterfly
+// halving distance at each level, then finishes with a ring walk; total
+// length is O(log N) w.h.p.
+//
+// Levels are drawn from the construction seed so that the topology is a
+// deterministic function of (ring, seed), as required for P3 verification.
+type Viceroy struct {
+	r      *ring.Ring
+	seed   int64
+	levels int
+	byLvl  []*ring.Ring       // byLvl[ℓ-1] holds the level-ℓ IDs
+	lvl    map[ring.Point]int // ID → level
+}
+
+// NewViceroy builds a Viceroy graph over r with levels derived from seed.
+func NewViceroy(r *ring.Ring, seed int64) Graph {
+	n := r.Len()
+	levels := log2Ceil(n)
+	if levels < 1 {
+		levels = 1
+	}
+	v := &Viceroy{
+		r:      r,
+		seed:   seed,
+		levels: levels,
+		byLvl:  make([]*ring.Ring, levels),
+		lvl:    make(map[ring.Point]int, n),
+	}
+	perLvl := make([][]ring.Point, levels)
+	for _, p := range r.Points() {
+		l := v.levelOf(p)
+		v.lvl[p] = l
+		perLvl[l-1] = append(perLvl[l-1], p)
+	}
+	for i := range v.byLvl {
+		v.byLvl[i] = ring.New(perLvl[i])
+	}
+	return v
+}
+
+// levelOf derives the level of p deterministically from (seed, p), uniform
+// over 1..levels.
+func (v *Viceroy) levelOf(p ring.Point) int {
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], uint64(v.seed))
+	binary.BigEndian.PutUint64(buf[8:], uint64(p))
+	return 1 + int(mix64(buf[:])%uint64(v.levels))
+}
+
+// mix64 is an FNV-1a hash with a splitmix64 finalizer. Viceroy levels only
+// need uniformity, not cryptographic strength; using a local mixer keeps
+// overlay dependency-free below ring.
+func mix64(data []byte) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+func (v *Viceroy) Name() string     { return "viceroy" }
+func (v *Viceroy) Ring() *ring.Ring { return v.r }
+
+// MaxHops: up phase ≤ L, down phase ≤ L, ring walk O(log N) w.h.p.
+func (v *Viceroy) MaxHops() int { return 6*v.levels + 32 }
+
+// Level returns the butterfly level of ID w (1-based).
+func (v *Viceroy) Level(w ring.Point) int { return v.lvl[w] }
+
+// lvlRing returns the ring of level-ℓ IDs, or nil if ℓ is out of range or
+// the level is empty.
+func (v *Viceroy) lvlRing(l int) *ring.Ring {
+	if l < 1 || l > v.levels {
+		return nil
+	}
+	lr := v.byLvl[l-1]
+	if lr.Len() == 0 {
+		return nil
+	}
+	return lr
+}
+
+// up returns w's up-link (first level-(ℓ−1) ID clockwise), or w itself if
+// none exists.
+func (v *Viceroy) up(w ring.Point) ring.Point {
+	l := v.lvl[w]
+	for t := l - 1; t >= 1; t-- {
+		if lr := v.lvlRing(t); lr != nil {
+			return lr.Successor(w)
+		}
+	}
+	return w
+}
+
+// down returns w's down-left and down-right links at the first non-empty
+// level below w's. ok is false at the bottom of the butterfly.
+func (v *Viceroy) down(w ring.Point) (left, right ring.Point, ok bool) {
+	l := v.lvl[w]
+	half := ring.Point(1) << (64 - uint(l)) // 1/2^ℓ of the ring
+	for t := l + 1; t <= v.levels; t++ {
+		if lr := v.lvlRing(t); lr != nil {
+			return lr.Successor(w), lr.Successor(w + half), true
+		}
+	}
+	return 0, 0, false
+}
+
+// Neighbors returns S_w: ring neighbors, same-level ring neighbors, the up
+// link, and the two down links (property P3 — each is the successor of a
+// w-derived point on a public sub-ring, so any ID can verify membership by
+// search).
+func (v *Viceroy) Neighbors(w ring.Point) []ring.Point {
+	s := make([]ring.Point, 0, 8)
+	add := func(p ring.Point) {
+		if p != w {
+			s = appendUnique(s, p)
+		}
+	}
+	add(v.r.StrictSuccessor(w))
+	add(v.r.Predecessor(w))
+	if lr := v.lvlRing(v.lvl[w]); lr != nil && lr.Len() > 1 {
+		add(lr.StrictSuccessor(w))
+		add(lr.Predecessor(w))
+	}
+	add(v.up(w))
+	if dl, dr, ok := v.down(w); ok {
+		add(dl)
+		add(dr)
+	}
+	return s
+}
+
+// Route ascends to level 1, descends the butterfly choosing down-right
+// whenever the remaining clockwise distance to the key exceeds the current
+// level width, then closes the residual gap along the ring.
+func (v *Viceroy) Route(src, key ring.Point) ([]ring.Point, bool) {
+	target := v.r.Successor(key)
+	path := []ring.Point{src}
+	if src == target {
+		return path, true
+	}
+	cur := src
+	budget := v.MaxHops()
+	step := func(next ring.Point) {
+		if next != cur {
+			cur = next
+			path = append(path, cur)
+		}
+	}
+	// Up phase.
+	for v.lvl[cur] > 1 && len(path) < budget {
+		next := v.up(cur)
+		if next == cur {
+			break
+		}
+		step(next)
+	}
+	// Down phase: at level ℓ the down-right link jumps ~1/2^ℓ clockwise;
+	// take it iff the remaining distance warrants, mirroring butterfly
+	// descent. All links are clockwise successors, so the distance to the
+	// key shrinks monotonically unless rounding carries us past it — in
+	// that case stop and let the bidirectional ring walk recover.
+	for len(path) < budget {
+		dl, dr, ok := v.down(cur)
+		if !ok {
+			break
+		}
+		before := cur.Dist(key)
+		width := ring.Point(1) << (64 - uint(v.lvl[cur]))
+		if before >= width {
+			step(dr)
+		} else {
+			step(dl)
+		}
+		if cur == target {
+			return path, true
+		}
+		if cur.Dist(key) > before {
+			break // passed the key
+		}
+	}
+	return ringWalk(v.r, path, target, budget-len(path)+1)
+}

@@ -1,0 +1,109 @@
+package pow
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/ring"
+)
+
+// MintCount samples the number of puzzle solutions found by an actor with
+// `attempts` total hash attempts at per-attempt success probability tau.
+// This is exactly the Binomial(attempts, tau) distribution that the
+// Lemma 11 Chernoff bound is taken over; sampling it (instead of hashing
+// `attempts` times) is the DESIGN.md substitution for large sweeps.
+func MintCount(attempts int64, tau float64, rng *rand.Rand) int {
+	if attempts <= 0 || tau <= 0 {
+		return 0
+	}
+	if tau >= 1 {
+		return int(attempts)
+	}
+	mean := float64(attempts) * tau
+	variance := mean * (1 - tau)
+	switch {
+	case variance > 100:
+		// Normal approximation with continuity correction.
+		k := int(math.Round(rng.NormFloat64()*math.Sqrt(variance) + mean))
+		if k < 0 {
+			k = 0
+		}
+		if int64(k) > attempts {
+			k = int(attempts)
+		}
+		return k
+	case float64(attempts) > 1000 && tau < 0.05:
+		return poisson(mean, rng)
+	default:
+		k := 0
+		for i := int64(0); i < attempts; i++ {
+			if rng.Float64() < tau {
+				k++
+			}
+		}
+		return k
+	}
+}
+
+// poisson samples Poisson(λ) (Knuth's method for small λ, normal
+// approximation above 500).
+func poisson(lambda float64, rng *rand.Rand) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 500 {
+		k := int(math.Round(rng.NormFloat64()*math.Sqrt(lambda) + lambda))
+		if k < 0 {
+			k = 0
+		}
+		return k
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// MintIDs returns `count` u.a.r. IDs — by the two-hash-composition argument
+// (Lemma 11), every puzzle solution yields an ID uniform in [0,1),
+// regardless of who solved it.
+func MintIDs(count int, rng *rand.Rand) []ring.Point {
+	ids := make([]ring.Point, count)
+	for i := range ids {
+		ids[i] = ring.Point(rng.Uint64())
+	}
+	return ids
+}
+
+// EpochMint models one epoch of minting (§IV-A): every good participant
+// computes for (1±ε)T/2 steps at unit power and keeps its first solution;
+// the adversary spends βn power for `advSteps` steps and keeps everything.
+type EpochMint struct {
+	GoodIDs []ring.Point // one fresh ID per good participant that solved in time
+	BadIDs  []ring.Point // all adversary solutions
+	// GoodMissed counts good participants whose puzzle took longer than the
+	// window (they sit out one epoch; the paper's (1±ε) slack).
+	GoodMissed int
+}
+
+// RunEpochMint samples an epoch. nGood is the number of good participants,
+// advPower the adversary's total hash attempts over its window, tau the
+// per-attempt success probability, goodSteps the length of the honest
+// solving window.
+func RunEpochMint(nGood int, goodSteps int64, advPower int64, tau float64, rng *rand.Rand) EpochMint {
+	var m EpochMint
+	for i := 0; i < nGood; i++ {
+		if MintCount(goodSteps, tau, rng) > 0 {
+			m.GoodIDs = append(m.GoodIDs, ring.Point(rng.Uint64()))
+		} else {
+			m.GoodMissed++
+		}
+	}
+	m.BadIDs = MintIDs(MintCount(advPower, tau, rng), rng)
+	return m
+}

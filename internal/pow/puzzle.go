@@ -1,0 +1,101 @@
+// Package pow implements the paper's proof-of-work subsystem (§IV): ID
+// generation by computational puzzles, ID verification and expiry, and the
+// global-random-string lottery that defeats pre-computation attacks
+// (Appendix VIII).
+//
+// Two layers are provided, per the DESIGN.md substitution table:
+//
+//   - a literal layer (this file): real SHA-256 puzzle solving and
+//     verification, used by tests and small-scale runs to validate the
+//     model;
+//   - a statistical layer (mint.go): the exact binomial/Poisson solution
+//     counts the Lemma 11 proof analyzes, used for large sweeps.
+package pow
+
+import (
+	"encoding/binary"
+	"math/rand"
+
+	"repro/internal/hashes"
+	"repro/internal/ring"
+)
+
+// Params fixes the puzzle difficulty and string length.
+type Params struct {
+	// Tau is the success threshold: σ solves the puzzle against epoch
+	// string r iff g(σ ⊕ r) ≤ Tau. The paper sets τ so that an honest ID
+	// finds a solution in (1±ε)T/2 steps; with one attempt per step that is
+	// Tau ≈ 2/T of the output space.
+	Tau ring.Point
+	// StringLen is the byte length of σ and r (the paper's ℓ·ln n bits).
+	StringLen int
+}
+
+// DefaultParams returns a difficulty where one solution takes ~2^14
+// attempts in expectation — small enough for tests, large enough to be a
+// real puzzle.
+func DefaultParams() Params {
+	return Params{Tau: ^ring.Point(0) >> 14, StringLen: 32}
+}
+
+// TauForEpoch returns the threshold giving one expected solution per T/2
+// attempts: τ = 2/T of the output space.
+func TauForEpoch(T int) ring.Point {
+	if T < 2 {
+		T = 2
+	}
+	return ^ring.Point(0) / ring.Point(T) * 2
+}
+
+// Solution is a solved puzzle: the pre-image σ, the intermediate output
+// y = g(σ⊕r), and the resulting ID f(y).
+type Solution struct {
+	Sigma    []byte
+	Y        ring.Point
+	ID       ring.Point
+	Attempts int
+}
+
+// Solve searches for a σ with g(σ ⊕ r) ≤ τ, up to maxAttempts attempts.
+// The returned ID is f(g(σ ⊕ r)) — the two-hash composition that forces
+// IDs to be u.a.r. even for an adversary that cherry-picks inputs (§IV-A,
+// "Why Use Two Hash Functions?").
+func Solve(r []byte, p Params, rng *rand.Rand, maxAttempts int) (Solution, bool) {
+	sigma := make([]byte, p.StringLen)
+	for a := 1; a <= maxAttempts; a++ {
+		rng.Read(sigma)
+		y := hashes.G.Point(hashes.XOR(sigma, r))
+		if y <= p.Tau {
+			out := make([]byte, len(sigma))
+			copy(out, sigma)
+			return Solution{Sigma: out, Y: y, ID: hashes.F.OfPoint(y), Attempts: a}, true
+		}
+	}
+	return Solution{Attempts: maxAttempts}, false
+}
+
+// Verify checks a claimed ID against its pre-image σ and the epoch string
+// r: g(σ⊕r) ≤ τ and f(g(σ⊕r)) = id. An ID signed with an expired epoch
+// string fails verification against the current one — this is exactly how
+// the paper expires IDs. (The paper uses a zero-knowledge proof so σ is not
+// revealed; the accept/reject behavior — all that the simulation observes —
+// is identical.)
+func Verify(id ring.Point, sigma, r []byte, p Params) bool {
+	y := hashes.G.Point(hashes.XOR(sigma, r))
+	return y <= p.Tau && hashes.F.OfPoint(y) == id
+}
+
+// EpochString derives a fresh epoch string deterministically from a seed
+// and epoch index (trusted-setup stand-in where the full lottery is not
+// being exercised).
+func EpochString(seed int64, epoch int, length int) []byte {
+	out := make([]byte, 0, length)
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], uint64(seed))
+	for c := 0; len(out) < length; c++ {
+		binary.BigEndian.PutUint64(buf[8:], uint64(epoch)<<20|uint64(c))
+		d := hashes.H.Bytes(buf[:])
+		out = append(out, d[:]...)
+	}
+	return out[:length]
+}

@@ -1,0 +1,154 @@
+// Package sim is the message-passing runtime the protocol simulations
+// execute on: a synchronous-round network of nodes whose per-round Step
+// functions run concurrently on a goroutine worker pool ("share memory by
+// communicating" — nodes interact only through messages).
+//
+// The model matches the paper's notion of steps: a message sent in round r
+// is delivered at the start of round r+1. Byzantine nodes are ordinary
+// nodes with arbitrary Step implementations; the adversary's global
+// knowledge is modeled by letting Byzantine node constructors share state
+// among themselves (the paper's single coordinating adversary).
+package sim
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// NodeID indexes a node in the network.
+type NodeID int
+
+// Message is one unit of communication. Payload types are protocol-defined;
+// payloads must be treated as immutable once sent.
+type Message struct {
+	From, To NodeID
+	Payload  any
+}
+
+// Node is a protocol participant. Step is called once per round with the
+// messages delivered this round (sorted by sender for determinism) and
+// returns the messages to deliver next round. Step implementations must not
+// retain or mutate the inbox slice.
+type Node interface {
+	Step(round int, inbox []Message) []Message
+}
+
+// Network executes nodes in synchronous rounds.
+type Network struct {
+	nodes []Node
+	// adj restricts communication: if non-nil, a message from u is dropped
+	// unless its recipient appears in adj[u]. This models overlay-topology
+	// communication (good nodes only talk to neighbors).
+	adj []map[NodeID]bool
+	// workers caps the Step worker pool; defaults to GOMAXPROCS.
+	workers int
+
+	inbox [][]Message
+	stats Stats
+}
+
+// Stats aggregates execution counters.
+type Stats struct {
+	Rounds    int
+	Delivered int64 // messages delivered to nodes
+	Dropped   int64 // messages dropped by topology restriction
+}
+
+// New creates a network over the given nodes with unrestricted topology.
+func New(nodes []Node) *Network {
+	return &Network{
+		nodes:   nodes,
+		workers: runtime.GOMAXPROCS(0),
+		inbox:   make([][]Message, len(nodes)),
+	}
+}
+
+// SetTopology restricts node u to send only to the IDs in adj[u].
+// Passing nil removes the restriction.
+func (nw *Network) SetTopology(adj [][]NodeID) {
+	if adj == nil {
+		nw.adj = nil
+		return
+	}
+	nw.adj = make([]map[NodeID]bool, len(nw.nodes))
+	for u, nbs := range adj {
+		m := make(map[NodeID]bool, len(nbs))
+		for _, v := range nbs {
+			m[v] = true
+		}
+		nw.adj[u] = m
+	}
+}
+
+// Len returns the number of nodes.
+func (nw *Network) Len() int { return len(nw.nodes) }
+
+// Stats returns the counters accumulated so far.
+func (nw *Network) Stats() Stats { return nw.stats }
+
+// Run executes `rounds` synchronous rounds and returns the cumulative stats.
+func (nw *Network) Run(rounds int) Stats {
+	n := len(nw.nodes)
+	outboxes := make([][]Message, n)
+	for r := 0; r < rounds; r++ {
+		round := nw.stats.Rounds
+		// Fan Step calls out over a bounded worker pool (Effective Go's
+		// fixed-worker pattern).
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < nw.workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					in := nw.inbox[i]
+					sort.Slice(in, func(a, b int) bool {
+						if in[a].From != in[b].From {
+							return in[a].From < in[b].From
+						}
+						return a < b
+					})
+					outboxes[i] = nw.nodes[i].Step(round, in)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+
+		// Route outboxes into next-round inboxes.
+		for i := range nw.inbox {
+			nw.inbox[i] = nil
+		}
+		for u, out := range outboxes {
+			for _, m := range out {
+				m.From = NodeID(u) // senders cannot forge From
+				if m.To < 0 || int(m.To) >= n {
+					nw.stats.Dropped++
+					continue
+				}
+				if nw.adj != nil && nw.adj[u] != nil && !nw.adj[u][m.To] {
+					nw.stats.Dropped++
+					continue
+				}
+				nw.inbox[m.To] = append(nw.inbox[m.To], m)
+				nw.stats.Delivered++
+			}
+			outboxes[u] = nil
+		}
+		nw.stats.Rounds++
+	}
+	return nw.stats
+}
+
+// Broadcast builds a message list addressed to every ID in to.
+func Broadcast(payload any, to []NodeID) []Message {
+	out := make([]Message, len(to))
+	for i, v := range to {
+		out[i] = Message{To: v, Payload: payload}
+	}
+	return out
+}

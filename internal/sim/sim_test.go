@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// echoNode forwards every received payload to node 0.
+type echoNode struct{ received int64 }
+
+func (e *echoNode) Step(round int, inbox []Message) []Message {
+	atomic.AddInt64(&e.received, int64(len(inbox)))
+	var out []Message
+	for range inbox {
+		out = append(out, Message{To: 0, Payload: "ack"})
+	}
+	return out
+}
+
+// seedNode sends one message to each other node in round 0.
+type seedNode struct {
+	n    int
+	self NodeID
+}
+
+func (s *seedNode) Step(round int, inbox []Message) []Message {
+	if round != 0 {
+		return nil
+	}
+	var out []Message
+	for i := 0; i < s.n; i++ {
+		if NodeID(i) != s.self {
+			out = append(out, Message{To: NodeID(i), Payload: "hi"})
+		}
+	}
+	return out
+}
+
+func TestMessagesDeliveredNextRound(t *testing.T) {
+	const n = 5
+	nodes := make([]Node, n)
+	nodes[0] = &seedNode{n: n, self: 0}
+	echoes := make([]*echoNode, n)
+	for i := 1; i < n; i++ {
+		echoes[i] = &echoNode{}
+		nodes[i] = echoes[i]
+	}
+	nw := New(nodes)
+	st := nw.Run(1)
+	// Delivered counts messages routed into next-round inboxes.
+	if st.Delivered != n-1 {
+		t.Fatalf("queued = %d, want %d", st.Delivered, n-1)
+	}
+	for i := 1; i < n; i++ {
+		if echoes[i].received != 0 {
+			t.Fatalf("node %d consumed a message in the sending round", i)
+		}
+	}
+	st = nw.Run(1)
+	// Echo nodes consumed their messages and queued n-1 acks to node 0.
+	if st.Delivered != 2*(n-1) {
+		t.Fatalf("cumulative delivered = %d, want %d", st.Delivered, 2*(n-1))
+	}
+	for i := 1; i < n; i++ {
+		if echoes[i].received != 1 {
+			t.Fatalf("node %d received %d, want 1", i, echoes[i].received)
+		}
+	}
+}
+
+func TestTopologyRestriction(t *testing.T) {
+	const n = 4
+	nodes := make([]Node, n)
+	nodes[0] = &seedNode{n: n, self: 0}
+	for i := 1; i < n; i++ {
+		nodes[i] = &echoNode{}
+	}
+	nw := New(nodes)
+	nw.SetTopology([][]NodeID{0: {1}, 1: {}, 2: {}, 3: {}})
+	st := nw.Run(2)
+	if st.Delivered != 1 {
+		t.Fatalf("delivered = %d, want 1 (only 0→1 allowed)", st.Delivered)
+	}
+	// Dropped: 0→2 and 0→3 in round 0, plus node 1's echo ack 1→0 in round 1.
+	if st.Dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", st.Dropped)
+	}
+}
+
+func TestOutOfRangeRecipientsDropped(t *testing.T) {
+	nodes := []Node{&seedNode{n: 10, self: 0}, &echoNode{}}
+	nw := New(nodes)
+	st := nw.Run(2)
+	// Round 0: 0→1 delivered, 0→{2..9} out of range. Round 1: echo ack 1→0.
+	if st.Delivered != 2 {
+		t.Fatalf("delivered = %d, want 2", st.Delivered)
+	}
+	if st.Dropped != 8 {
+		t.Fatalf("dropped = %d, want 8", st.Dropped)
+	}
+}
+
+// forgeNode tries to forge its From field.
+type forgeNode struct{}
+
+func (forgeNode) Step(round int, inbox []Message) []Message {
+	if round == 0 {
+		return []Message{{From: 99, To: 1, Payload: "forged"}}
+	}
+	return nil
+}
+
+// captureNode records sender IDs.
+type captureNode struct{ froms []NodeID }
+
+func (c *captureNode) Step(round int, inbox []Message) []Message {
+	for _, m := range inbox {
+		c.froms = append(c.froms, m.From)
+	}
+	return nil
+}
+
+func TestFromFieldCannotBeForged(t *testing.T) {
+	cap := &captureNode{}
+	nw := New([]Node{forgeNode{}, cap})
+	nw.Run(2)
+	if len(cap.froms) != 1 || cap.froms[0] != 0 {
+		t.Fatalf("From = %v, want [0] (runtime must stamp the true sender)", cap.froms)
+	}
+}
+
+// counterNode counts rounds it was stepped.
+type counterNode struct{ steps int64 }
+
+func (c *counterNode) Step(round int, inbox []Message) []Message {
+	atomic.AddInt64(&c.steps, 1)
+	return nil
+}
+
+func TestAllNodesSteppedEveryRound(t *testing.T) {
+	const n, rounds = 32, 7
+	nodes := make([]Node, n)
+	counters := make([]*counterNode, n)
+	for i := range nodes {
+		counters[i] = &counterNode{}
+		nodes[i] = counters[i]
+	}
+	nw := New(nodes)
+	st := nw.Run(rounds)
+	if st.Rounds != rounds {
+		t.Fatalf("rounds = %d, want %d", st.Rounds, rounds)
+	}
+	for i, c := range counters {
+		if c.steps != rounds {
+			t.Fatalf("node %d stepped %d times, want %d", i, c.steps, rounds)
+		}
+	}
+}
+
+func TestBroadcastHelper(t *testing.T) {
+	msgs := Broadcast("x", []NodeID{3, 1, 4})
+	if len(msgs) != 3 || msgs[0].To != 3 || msgs[2].To != 4 {
+		t.Fatalf("Broadcast built %v", msgs)
+	}
+}
+
+// inboxOrderNode verifies the inbox is sorted by sender.
+type inboxOrderNode struct{ bad bool }
+
+func (n *inboxOrderNode) Step(round int, inbox []Message) []Message {
+	for i := 1; i < len(inbox); i++ {
+		if inbox[i].From < inbox[i-1].From {
+			n.bad = true
+		}
+	}
+	return nil
+}
+
+// sprayNode sends to node 0 from many sources.
+type sprayNode struct{}
+
+func (sprayNode) Step(round int, inbox []Message) []Message {
+	if round == 0 {
+		return []Message{{To: 0, Payload: "s"}}
+	}
+	return nil
+}
+
+func TestInboxSortedBySender(t *testing.T) {
+	const n = 64
+	target := &inboxOrderNode{}
+	nodes := make([]Node, n)
+	nodes[0] = target
+	for i := 1; i < n; i++ {
+		nodes[i] = sprayNode{}
+	}
+	nw := New(nodes)
+	nw.Run(2)
+	if target.bad {
+		t.Fatal("inbox not sorted by sender")
+	}
+}
