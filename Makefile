@@ -1,0 +1,24 @@
+# Local targets mirror .github/workflows/ci.yml exactly: `make ci` is the
+# same gate CI applies.
+
+GO ?= go
+
+.PHONY: build test bench lint ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+lint:
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; \
+	fi
+
+ci: build lint test bench

@@ -8,6 +8,7 @@ import (
 	"repro/internal/adversary"
 	"repro/internal/ba"
 	"repro/internal/baseline"
+	"repro/internal/engine"
 	"repro/internal/epoch"
 	"repro/internal/experiments"
 	"repro/internal/groups"
@@ -221,6 +222,41 @@ func BenchmarkPoWSolve(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pow.Solve(rstr, p, rng, 1<<20)
+	}
+}
+
+func BenchmarkPoWSolveSharded(b *testing.B) {
+	p := pow.Params{Tau: ring.Point(^uint64(0) >> 10), StringLen: 32}
+	rstr := pow.EpochString(1, 0, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pow.SolveSharded(rstr, p, int64(i+1), 1<<20, 0)
+	}
+}
+
+func BenchmarkPoWVerifyBatch(b *testing.B) {
+	p := pow.Params{Tau: ring.Point(^uint64(0) >> 4), StringLen: 32}
+	rstr := pow.EpochString(1, 0, 32)
+	claims := make([]pow.Claim, 256)
+	for i := range claims {
+		sol, ok := pow.SolveSharded(rstr, p, int64(i+1), 1<<16, 0)
+		if !ok {
+			b.Fatal("setup solve failed")
+		}
+		claims[i] = pow.Claim{ID: sol.ID, Sigma: sol.Sigma}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pow.VerifyBatch(claims, rstr, p, 0)
+	}
+}
+
+func BenchmarkEngineMapOverhead(b *testing.B) {
+	cfg := engine.Config{RootSeed: 1}
+	for i := 0; i < b.N; i++ {
+		engine.Map(cfg, "bench", 64, func(_ int, rng *rand.Rand) float64 {
+			return rng.Float64()
+		})
 	}
 }
 

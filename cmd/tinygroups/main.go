@@ -2,75 +2,117 @@
 //
 // Usage:
 //
-//	tinygroups [-quick] [-seed N] <experiment>...
+//	tinygroups [-quick] [-seed N] [-parallel N] [-trials N] <experiment>...
 //	tinygroups list
 //	tinygroups all
 //
-// Experiments are e1..e13; see DESIGN.md §6 for the claim each regenerates.
+// Experiments are e1..e20; see DESIGN.md §6 for the claim each regenerates.
+// Trials within each experiment fan across a worker pool (-parallel, default
+// GOMAXPROCS); tables are bit-identical at every parallelism level because
+// every trial's randomness is derived from the root seed by hashing.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 )
 
 func main() {
-	quick := flag.Bool("quick", false, "run reduced sweeps (seconds instead of minutes)")
-	seed := flag.Int64("seed", 1, "random seed for all experiments")
-	flag.Usage = usage
-	flag.Parse()
-	args := flag.Args()
-	if len(args) == 0 {
-		usage()
-		os.Exit(2)
-	}
-	opts := experiments.Options{Quick: *quick, Seed: *seed}
-	switch args[0] {
-	case "list":
-		for _, e := range experiments.All() {
-			fmt.Printf("%-5s %s\n", e.ID, e.Title)
-		}
-		return
-	case "all":
-		for _, e := range experiments.All() {
-			run(e, opts)
-		}
-		return
-	}
-	for _, id := range args {
-		e, ok := experiments.Lookup(id)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (try `tinygroups list`)\n", id)
-			os.Exit(2)
-		}
-		run(e, opts)
-	}
+	a := &app{stdout: os.Stdout, stderr: os.Stderr, registry: experiments.All()}
+	os.Exit(a.run(os.Args[1:]))
 }
 
-func run(e experiments.Experiment, opts experiments.Options) {
+// app carries the CLI's dependencies so tests can substitute writers and a
+// stub experiment registry.
+type app struct {
+	stdout, stderr io.Writer
+	registry       []experiments.Experiment
+}
+
+// run parses args, executes the selected experiments, and returns the
+// process exit code.
+func (a *app) run(args []string) int {
+	fs := flag.NewFlagSet("tinygroups", flag.ContinueOnError)
+	fs.SetOutput(a.stderr)
+	quick := fs.Bool("quick", false, "run reduced sweeps (seconds instead of minutes)")
+	seed := fs.Int64("seed", 1, "root seed; per-trial seeds are derived from it by hashing")
+	parallel := fs.Int("parallel", 0, "max concurrent trials per experiment (0 = GOMAXPROCS); results are identical at every setting")
+	trials := fs.Int("trials", 1, "repetitions behind each sampled table cell, averaged (e1, e2, e8, e13)")
+	fs.Usage = func() { a.usage(fs) }
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		a.usage(fs)
+		return 2
+	}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Parallel: *parallel, Trials: *trials}
+	var selected []experiments.Experiment
+	switch rest[0] {
+	case "list":
+		for _, e := range a.registry {
+			fmt.Fprintf(a.stdout, "%-5s %s\n", e.ID, e.Title)
+		}
+		return 0
+	case "all":
+		selected = a.registry
+	default:
+		for _, id := range rest {
+			e, ok := a.lookup(id)
+			if !ok {
+				fmt.Fprintf(a.stderr, "unknown experiment %q (try `tinygroups list`)\n", id)
+				return 2
+			}
+			selected = append(selected, e)
+		}
+	}
+	start := time.Now()
+	for _, e := range selected {
+		a.runOne(e, opts)
+	}
+	workers := engine.Config{Parallel: opts.Parallel}.Workers()
+	fmt.Fprintf(a.stdout, "total wall-clock: %.1fs (%d experiments, %d workers)\n",
+		time.Since(start).Seconds(), len(selected), workers)
+	return 0
+}
+
+// lookup finds an experiment by ID in this app's registry.
+func (a *app) lookup(id string) (experiments.Experiment, bool) {
+	for _, e := range a.registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return experiments.Experiment{}, false
+}
+
+func (a *app) runOne(e experiments.Experiment, opts experiments.Options) {
 	start := time.Now()
 	res := e.Run(opts)
-	fmt.Printf("== %s: %s (%.1fs)\n\n", res.ID, res.Title, time.Since(start).Seconds())
-	fmt.Print(res.Table.String())
+	fmt.Fprintf(a.stdout, "== %s: %s (%.1fs)\n\n", res.ID, res.Title, time.Since(start).Seconds())
+	fmt.Fprint(a.stdout, res.Table.String())
 	for _, n := range res.Notes {
-		fmt.Printf("  note: %s\n", n)
+		fmt.Fprintf(a.stdout, "  note: %s\n", n)
 	}
-	fmt.Println()
+	fmt.Fprintln(a.stdout)
 }
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `tinygroups — reproduction harness for "Tiny Groups Tackle Byzantine Adversaries" (IPDPS 2018)
+func (a *app) usage(fs *flag.FlagSet) {
+	fmt.Fprintf(a.stderr, `tinygroups — reproduction harness for "Tiny Groups Tackle Byzantine Adversaries" (IPDPS 2018)
 
 usage:
-  tinygroups [-quick] [-seed N] <experiment>...   run specific experiments (e1..e13)
-  tinygroups list                                 list experiments
-  tinygroups all                                  run everything
+  tinygroups [flags] <experiment>...   run specific experiments (e1..e20)
+  tinygroups [flags] all               run everything
+  tinygroups list                      list experiments
 
 flags:
 `)
-	flag.PrintDefaults()
+	fs.PrintDefaults()
 }

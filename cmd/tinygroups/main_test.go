@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+// stubApp returns an app with a two-experiment stub registry that records
+// the Options each run received.
+func stubApp(got *[]experiments.Options) *app {
+	mk := func(id, title string) experiments.Experiment {
+		return experiments.Experiment{
+			ID: id, Title: title,
+			Run: func(o experiments.Options) experiments.Result {
+				*got = append(*got, o)
+				tab := &metrics.Table{Header: []string{"k", "v"}}
+				tab.Append(id, "1")
+				return experiments.Result{ID: id, Title: title, Table: tab, Notes: []string{"stub"}}
+			},
+		}
+	}
+	return &app{
+		stdout:   &bytes.Buffer{},
+		stderr:   &bytes.Buffer{},
+		registry: []experiments.Experiment{mk("x1", "first stub"), mk("x2", "second stub")},
+	}
+}
+
+func TestListPrintsRegistry(t *testing.T) {
+	var got []experiments.Options
+	a := stubApp(&got)
+	if code := a.run([]string{"list"}); code != 0 {
+		t.Fatalf("list exit code %d", code)
+	}
+	out := a.stdout.(*bytes.Buffer).String()
+	for _, want := range []string{"x1", "first stub", "x2", "second stub"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q:\n%s", want, out)
+		}
+	}
+	if len(got) != 0 {
+		t.Errorf("list ran %d experiments", len(got))
+	}
+}
+
+func TestAllRunsEveryExperiment(t *testing.T) {
+	var got []experiments.Options
+	a := stubApp(&got)
+	if code := a.run([]string{"all"}); code != 0 {
+		t.Fatalf("all exit code %d", code)
+	}
+	if len(got) != 2 {
+		t.Fatalf("all ran %d experiments, want 2", len(got))
+	}
+	out := a.stdout.(*bytes.Buffer).String()
+	for _, want := range []string{"== x1", "== x2", "total wall-clock"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("all output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnknownExperimentFails(t *testing.T) {
+	var got []experiments.Options
+	a := stubApp(&got)
+	if code := a.run([]string{"x1", "nope"}); code != 2 {
+		t.Fatalf("unknown id exit code %d, want 2", code)
+	}
+	errOut := a.stderr.(*bytes.Buffer).String()
+	if !strings.Contains(errOut, `unknown experiment "nope"`) {
+		t.Errorf("stderr missing unknown-experiment message: %s", errOut)
+	}
+	if len(got) != 0 {
+		t.Errorf("ran %d experiments before rejecting the bad id", len(got))
+	}
+}
+
+func TestNoArgsPrintsUsage(t *testing.T) {
+	var got []experiments.Options
+	a := stubApp(&got)
+	if code := a.run(nil); code != 2 {
+		t.Fatalf("no-args exit code %d, want 2", code)
+	}
+	if !strings.Contains(a.stderr.(*bytes.Buffer).String(), "usage:") {
+		t.Error("usage not printed")
+	}
+}
+
+func TestBadFlagFails(t *testing.T) {
+	var got []experiments.Options
+	a := stubApp(&got)
+	if code := a.run([]string{"-bogus", "x1"}); code != 2 {
+		t.Fatalf("bad flag exit code %d, want 2", code)
+	}
+}
+
+func TestFlagsReachExperiments(t *testing.T) {
+	var got []experiments.Options
+	a := stubApp(&got)
+	if code := a.run([]string{"-quick", "-seed", "42", "-parallel", "3", "-trials", "5", "x2"}); code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if len(got) != 1 {
+		t.Fatalf("ran %d experiments, want 1", len(got))
+	}
+	want := experiments.Options{Quick: true, Seed: 42, Parallel: 3, Trials: 5}
+	if got[0] != want {
+		t.Errorf("experiment received %+v, want %+v", got[0], want)
+	}
+}
+
+// TestRealRegistryQuickRun drives one cheap real experiment end to end
+// through the CLI layer.
+func TestRealRegistryQuickRun(t *testing.T) {
+	a := &app{stdout: &bytes.Buffer{}, stderr: &bytes.Buffer{}, registry: experiments.All()}
+	if code := a.run([]string{"-quick", "e13"}); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, a.stderr.(*bytes.Buffer).String())
+	}
+	out := a.stdout.(*bytes.Buffer).String()
+	if !strings.Contains(out, "== e13: Byzantine agreement inside groups") {
+		t.Errorf("missing experiment banner:\n%s", out)
+	}
+	if !strings.Contains(out, "behavior") {
+		t.Errorf("missing table header:\n%s", out)
+	}
+}
+
+// TestRealRegistryListMatchesAll asserts the registry the CLI ships is the
+// full e1..e20 set.
+func TestRealRegistryListMatchesAll(t *testing.T) {
+	a := &app{stdout: &bytes.Buffer{}, stderr: &bytes.Buffer{}, registry: experiments.All()}
+	if code := a.run([]string{"list"}); code != 0 {
+		t.Fatalf("list exit code %d", code)
+	}
+	out := a.stdout.(*bytes.Buffer).String()
+	if n := len(strings.Split(strings.TrimSpace(out), "\n")); n != len(experiments.All()) {
+		t.Errorf("list printed %d lines, registry has %d experiments", n, len(experiments.All()))
+	}
+	for _, e := range experiments.All() {
+		if !strings.Contains(out, e.ID) {
+			t.Errorf("list missing %s", e.ID)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 // The public surface is internal/core (the assembled ε-robust system);
 // the substrates live in internal/{ring,hashes,overlay,groups,adversary,
 // epoch,pow,sim,ba,baseline}; internal/experiments regenerates every
-// evaluation table (see DESIGN.md §6 and EXPERIMENTS.md); bench_test.go in
-// this directory exposes one benchmark per experiment.
+// evaluation table (see DESIGN.md §6 and EXPERIMENTS.md) on the parallel
+// deterministic runner in internal/engine; bench_test.go in this directory
+// exposes one benchmark per experiment.
 package repro

@@ -2,6 +2,7 @@ package baseline
 
 import (
 	"math/rand"
+	"sort"
 
 	"repro/internal/ring"
 )
@@ -192,10 +193,13 @@ func RunCuckoo(cfg CuckooConfig) CuckooResult {
 		return res
 	}
 
+	// Map iteration order is randomized, so the churn-victim list must be
+	// sorted for a seed to reproduce the same run.
 	badList := make([]ring.Point, 0, nBad)
 	for p := range s.bad {
 		badList = append(badList, p)
 	}
+	sortPoints(badList)
 
 	for e := 1; e <= cfg.Events; e++ {
 		// Adversary churns one of its nodes.
@@ -206,11 +210,13 @@ func RunCuckoo(cfg CuckooConfig) CuckooResult {
 		s.touched = s.touched[:0]
 		s.remove(badList[victim])
 		s.join(true)
-		// The join may have relocated bad evictees; rebuild the bad list.
+		// The join may have relocated bad evictees; rebuild the bad list
+		// (sorted — see above).
 		badList = badList[:0]
 		for p := range s.bad {
 			badList = append(badList, p)
 		}
+		sortPoints(badList)
 		comp, worst := s.compromised(s.touched)
 		if worst > res.MaxBadFraction {
 			res.MaxBadFraction = worst
@@ -222,6 +228,10 @@ func RunCuckoo(cfg CuckooConfig) CuckooResult {
 		}
 	}
 	return res
+}
+
+func sortPoints(pts []ring.Point) {
+	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
 }
 
 // pickChurnNode selects which bad node departs: under the targeted attack,

@@ -1,13 +1,18 @@
 package experiments
 
 import (
+	"math/rand"
+
 	"repro/internal/baseline"
+	"repro/internal/engine"
 	"repro/internal/epoch"
 	"repro/internal/metrics"
 )
 
 // E4Dynamic regenerates the Theorem 3 dynamic series: per-epoch red
-// fractions and search failure under full population turnover.
+// fractions and search failure under full population turnover. Epochs are
+// causally chained (each construction runs through the previous epoch's
+// graphs), so the whole chain is one engine trial.
 func E4Dynamic(o Options) Result {
 	n := 1 << 10
 	epochs := 8
@@ -15,18 +20,25 @@ func E4Dynamic(o Options) Result {
 		n = 512
 		epochs = 4
 	}
+	rows := engine.Map(o.cfg(), "e4", 1, func(_ int, rng *rand.Rand) [][]string {
+		cfg := epoch.DefaultConfig(n)
+		cfg.Params.Beta = 0.05
+		cfg.Seed = rng.Int63()
+		s, err := epoch.New(cfg)
+		if err != nil {
+			panic(err)
+		}
+		var out [][]string
+		for e := 0; e < epochs; e++ {
+			st := s.RunEpoch()
+			out = append(out, []string{itoa(st.Epoch), f4(st.QfSingle), f4(st.QfDual),
+				f4(st.RedFraction[0]), f4(st.RedFraction[1]), f4(st.SearchFailRate)})
+		}
+		return out
+	})
 	tab := &metrics.Table{Header: []string{"epoch", "qfSingle", "qfDual", "redFrac1", "redFrac2", "searchFail"}}
-	cfg := epoch.DefaultConfig(n)
-	cfg.Params.Beta = 0.05
-	cfg.Seed = o.Seed
-	s, err := epoch.New(cfg)
-	if err != nil {
-		panic(err)
-	}
-	for e := 0; e < epochs; e++ {
-		st := s.RunEpoch()
-		tab.Append(itoa(st.Epoch), f4(st.QfSingle), f4(st.QfDual),
-			f4(st.RedFraction[0]), f4(st.RedFraction[1]), f4(st.SearchFailRate))
+	for _, r := range rows[0] {
+		tab.Append(r...)
 	}
 	return Result{
 		ID: "e4", Title: "Dynamic ε-robustness across epochs (Theorem 3)", Table: tab,
@@ -37,7 +49,8 @@ func E4Dynamic(o Options) Result {
 }
 
 // E5Ablation regenerates the §III two-graph-necessity comparison: the same
-// run with one group graph accumulates error; with two it does not.
+// run with one group graph accumulates error; with two it does not. The
+// two arms are independent engine trials.
 func E5Ablation(o Options) Result {
 	n := 1 << 10
 	epochs := 8
@@ -45,12 +58,16 @@ func E5Ablation(o Options) Result {
 		n = 512
 		epochs = 5
 	}
-	tab := &metrics.Table{Header: []string{"graphs", "epoch", "qfEff", "redFrac", "searchFail"}}
-	for _, twoGraphs := range []bool{true, false} {
+	arms := []bool{true, false}
+	// Both arms share one seed so the comparison is paired: the only
+	// difference between the row series is TwoGraphs.
+	sharedSeed := engine.TrialSeed(o.Seed, "e5/shared", 0)
+	rows := engine.Map(o.cfg(), "e5", len(arms), func(ai int, _ *rand.Rand) [][]string {
+		twoGraphs := arms[ai]
 		cfg := epoch.DefaultConfig(n)
 		cfg.Params.Beta = 0.05
 		cfg.TwoGraphs = twoGraphs
-		cfg.Seed = o.Seed
+		cfg.Seed = sharedSeed
 		s, err := epoch.New(cfg)
 		if err != nil {
 			panic(err)
@@ -59,10 +76,18 @@ func E5Ablation(o Options) Result {
 		if !twoGraphs {
 			label = "1"
 		}
+		var out [][]string
 		for e := 0; e < epochs; e++ {
 			st := s.RunEpoch()
 			qfEff := st.QfDual // the corruption probability per construction step
-			tab.Append(label, itoa(st.Epoch), f4(qfEff), f4(st.RedFraction[0]), f4(st.SearchFailRate))
+			out = append(out, []string{label, itoa(st.Epoch), f4(qfEff), f4(st.RedFraction[0]), f4(st.SearchFailRate)})
+		}
+		return out
+	})
+	tab := &metrics.Table{Header: []string{"graphs", "epoch", "qfEff", "redFrac", "searchFail"}}
+	for _, arm := range rows {
+		for _, r := range arm {
+			tab.Append(r...)
 		}
 	}
 	return Result{
@@ -76,7 +101,8 @@ func E5Ablation(o Options) Result {
 
 // E10Cuckoo regenerates the related-work anchor: the cuckoo rule's group
 // size requirement ([47]: |G| ≈ 64 at n = 8192) vs this paper's tiny
-// groups.
+// groups. Every cuckoo (|G|, β) cell and the tiny-groups arm are
+// independent engine trials.
 func E10Cuckoo(o Options) Result {
 	n := 1 << 13
 	events := 100000
@@ -84,36 +110,53 @@ func E10Cuckoo(o Options) Result {
 		n = 1 << 10
 		events = 10000
 	}
-	tab := &metrics.Table{Header: []string{"scheme", "n", "|G|", "beta", "events", "survived", "maxBadFrac"}}
+	type cell struct {
+		g    int
+		beta float64
+	}
+	var cells []cell
 	for _, g := range []int{8, 16, 32, 64} {
 		for _, beta := range []float64{0.002, 0.02} {
+			cells = append(cells, cell{g, beta})
+		}
+	}
+	// One batch holds every cuckoo cell plus the tiny-groups arm (the last
+	// trial), so the expensive epoch simulation overlaps the cuckoo cells
+	// instead of waiting for them behind a barrier.
+	rows := engine.Map(o.cfg(), "e10", len(cells)+1, func(ci int, rng *rand.Rand) []string {
+		if ci < len(cells) {
+			c := cells[ci]
 			res := baseline.RunCuckoo(baseline.CuckooConfig{
-				N: n, Beta: beta, K: 4, GroupSize: g,
-				Events: events, Targeted: true, Seed: o.Seed,
+				N: n, Beta: c.beta, K: 4, GroupSize: c.g,
+				Events: events, Targeted: true, Seed: rng.Int63(),
 			})
-			tab.Append("cuckoo", itoa(n), itoa(g), f3(beta), itoa(res.SurvivedEvents),
-				boolStr(res.Survived), f3(res.MaxBadFraction))
+			return []string{"cuckoo", itoa(n), itoa(c.g), f3(c.beta), itoa(res.SurvivedEvents),
+				boolStr(res.Survived), f3(res.MaxBadFraction)}
 		}
-	}
-	// Our construction at the same scale: per-epoch full turnover is n
-	// join/leave events; run 3 epochs (= 3n events) and report failure.
-	ecfg := epoch.DefaultConfig(minInt(n, 2048)) // epoch sim cost cap
-	ecfg.Params.Beta = 0.05
-	ecfg.Seed = o.Seed
-	s, err := epoch.New(ecfg)
-	if err != nil {
-		panic(err)
-	}
-	var worst float64
-	epochs := 3
-	for e := 0; e < epochs; e++ {
-		st := s.RunEpoch()
-		if st.RedFraction[0] > worst {
-			worst = st.RedFraction[0]
+		// Our construction at the same scale: per-epoch full turnover is n
+		// join/leave events; run 3 epochs (= 3n events) and report failure.
+		ecfg := epoch.DefaultConfig(minInt(n, 2048)) // epoch sim cost cap
+		ecfg.Params.Beta = 0.05
+		ecfg.Seed = rng.Int63()
+		s, err := epoch.New(ecfg)
+		if err != nil {
+			panic(err)
 		}
+		var worst float64
+		epochs := 3
+		for e := 0; e < epochs; e++ {
+			st := s.RunEpoch()
+			if st.RedFraction[0] > worst {
+				worst = st.RedFraction[0]
+			}
+		}
+		return []string{"tinygroups+pow", itoa(ecfg.N), itoa(s.Graphs()[0].GroupSize()), f3(0.05),
+			itoa(epochs * ecfg.N), "true", f3(worst)}
+	})
+	tab := &metrics.Table{Header: []string{"scheme", "n", "|G|", "beta", "events", "survived", "maxBadFrac"}}
+	for _, r := range rows {
+		tab.Append(r...)
 	}
-	tab.Append("tinygroups+pow", itoa(ecfg.N), itoa(s.Graphs()[0].GroupSize()), f3(0.05),
-		itoa(epochs*ecfg.N), "true", f3(worst))
 	return Result{
 		ID: "e10", Title: "Cuckoo-rule baseline vs tiny groups", Table: tab,
 		Notes: []string{
@@ -124,27 +167,32 @@ func E10Cuckoo(o Options) Result {
 }
 
 // E12State regenerates the Lemma 10 state-bound table: spam accepted and
-// membership state with verification on vs off.
+// membership state with verification on vs off — two independent trials.
 func E12State(o Options) Result {
 	n := 512
 	if o.Quick {
 		n = 256
 	}
-	tab := &metrics.Table{Header: []string{"verify", "spam/bad", "spamSent", "spamAccepted", "memberships", "errRejects"}}
-	for _, verify := range []bool{true, false} {
+	arms := []bool{true, false}
+	rows := engine.Map(o.cfg(), "e12", len(arms), func(ai int, rng *rand.Rand) []string {
+		verify := arms[ai]
 		cfg := epoch.DefaultConfig(n)
 		cfg.Params.Beta = 0.10
 		cfg.VerifyRequests = verify
 		cfg.SpamFactor = 5
-		cfg.Seed = o.Seed
+		cfg.Seed = rng.Int63()
 		s, err := epoch.New(cfg)
 		if err != nil {
 			panic(err)
 		}
 		st := s.RunEpoch()
 		nBad := int(cfg.Params.Beta * float64(n))
-		tab.Append(boolStr(verify), itoa(cfg.SpamFactor), itoa(nBad*cfg.SpamFactor),
-			itoa(st.SpamAccepted), f1(st.MeanMemberships), itoa(st.ErroneousRejects))
+		return []string{boolStr(verify), itoa(cfg.SpamFactor), itoa(nBad * cfg.SpamFactor),
+			itoa(st.SpamAccepted), f1(st.MeanMemberships), itoa(st.ErroneousRejects)}
+	})
+	tab := &metrics.Table{Header: []string{"verify", "spam/bad", "spamSent", "spamAccepted", "memberships", "errRejects"}}
+	for _, r := range rows {
+		tab.Append(r...)
 	}
 	return Result{
 		ID: "e12", Title: "Verification caps state under spam (Lemma 10)", Table: tab,

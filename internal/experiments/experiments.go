@@ -6,7 +6,9 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 
+	"repro/internal/engine"
 	"repro/internal/metrics"
 )
 
@@ -14,8 +16,58 @@ import (
 type Options struct {
 	// Quick shrinks sweeps for use in tests and benchmarks.
 	Quick bool
-	// Seed drives all randomness.
+	// Seed drives all randomness: every trial's private seed is derived
+	// from it by hashing (engine.TrialSeed).
 	Seed int64
+	// Parallel caps how many engine trials run concurrently; 0 means
+	// GOMAXPROCS. It affects wall-clock only — tables are bit-identical at
+	// every setting.
+	Parallel int
+	// Trials multiplies the independent repetitions behind each sampled
+	// table cell (≤1 means a single repetition). It applies to the
+	// rate-estimating experiments e1, e2, e8 (averaged cells) and e13
+	// (more BA runs per cell); the remaining experiments report
+	// single-construction measurements and ignore it.
+	Trials int
+}
+
+// cfg returns the engine configuration for this run.
+func (o Options) cfg() engine.Config {
+	return engine.Config{Parallel: o.Parallel, RootSeed: o.Seed}
+}
+
+// reps returns the effective per-cell repetition count.
+func (o Options) reps() int {
+	if o.Trials > 1 {
+		return o.Trials
+	}
+	return 1
+}
+
+// meanCells fans nCells×reps independent measurements over the engine and
+// averages each cell's dims-dimensional vector across its repetitions.
+// Trial (cell, rep) pairs are flattened so repetitions of different cells
+// run concurrently; the returned slice is indexed by cell.
+func meanCells(o Options, scope string, nCells, dims int, measure func(cell, rep int, rng *rand.Rand) []float64) [][]float64 {
+	reps := o.reps()
+	flat := engine.Map(o.cfg(), scope, nCells*reps, func(i int, rng *rand.Rand) []float64 {
+		return measure(i/reps, i%reps, rng)
+	})
+	out := make([][]float64, nCells)
+	for c := range out {
+		mean := make([]float64, dims)
+		for r := 0; r < reps; r++ {
+			v := flat[c*reps+r]
+			for d := 0; d < dims && d < len(v); d++ {
+				mean[d] += v[d]
+			}
+		}
+		for d := range mean {
+			mean[d] /= float64(reps)
+		}
+		out[c] = mean
+	}
+	return out
 }
 
 // Result is one regenerated table plus interpretation notes.

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"repro/internal/adversary"
+	"repro/internal/engine"
 	"repro/internal/epoch"
 	"repro/internal/groups"
 	"repro/internal/hashes"
@@ -17,7 +18,7 @@ import (
 // E14SecureRouting regenerates the §I secure-routing mechanism check: the
 // protocol-level all-to-all + majority-filter transmission agrees with the
 // graph-level blue-path criterion, and good groups with bad minorities
-// deliver intact.
+// deliver intact. Each (n, β) cell is an engine trial.
 func E14SecureRouting(o Options) Result {
 	ns := []int{512, 2048}
 	trials := 1500
@@ -25,51 +26,62 @@ func E14SecureRouting(o Options) Result {
 		ns = []int{512}
 		trials = 400
 	}
-	tab := &metrics.Table{Header: []string{"n", "beta", "delivered", "scoreAgree", "mixedHopsIntact", "msgs/route"}}
-	rng := rand.New(rand.NewSource(o.Seed))
+	type cell struct {
+		n    int
+		beta float64
+	}
+	var cells []cell
 	for _, n := range ns {
 		for _, beta := range []float64{0.05, 0.15} {
-			pl := adversary.Place(adversary.Config{N: n, Beta: beta, Strategy: adversary.Uniform}, rng)
-			ov := overlay.NewChord(pl.Ring())
-			params := groups.DefaultParams()
-			params.Beta = beta
-			g := groups.Build(ov, pl.BadSet(), params, hashes.H1)
-			r := ov.Ring()
-			delivered, agree, mixedIntact, mixedTotal := 0, 0, 0, 0
-			var msgs int64
-			for i := 0; i < trials; i++ {
-				src := r.At(rng.Intn(r.Len()))
-				key := ring.Point(rng.Uint64())
-				proto := secroute.Route(g, src, key)
-				score := g.Search(src, key)
-				if proto.Delivered {
-					delivered++
-				}
-				if proto.Delivered == score.OK {
-					agree++
-				}
-				msgs += proto.Messages
-				if proto.Delivered {
-					// On delivered routes, every traversed mixed good group
-					// must have filtered its bad minority out.
-					for _, h := range proto.Hops {
-						grp := g.Group(h.Leader)
-						if grp.BadCount() > 0 && !grp.Bad {
-							mixedTotal++
-							if h.Intact {
-								mixedIntact++
-							}
+			cells = append(cells, cell{n, beta})
+		}
+	}
+	rows := engine.Map(o.cfg(), "e14", len(cells), func(ci int, rng *rand.Rand) []string {
+		c := cells[ci]
+		pl := adversary.Place(adversary.Config{N: c.n, Beta: c.beta, Strategy: adversary.Uniform}, rng)
+		ov := overlay.NewChord(pl.Ring())
+		params := groups.DefaultParams()
+		params.Beta = c.beta
+		g := groups.Build(ov, pl.BadSet(), params, hashes.H1)
+		r := ov.Ring()
+		delivered, agree, mixedIntact, mixedTotal := 0, 0, 0, 0
+		var msgs int64
+		for i := 0; i < trials; i++ {
+			src := r.At(rng.Intn(r.Len()))
+			key := ring.Point(rng.Uint64())
+			proto := secroute.Route(g, src, key)
+			score := g.Search(src, key)
+			if proto.Delivered {
+				delivered++
+			}
+			if proto.Delivered == score.OK {
+				agree++
+			}
+			msgs += proto.Messages
+			if proto.Delivered {
+				// On delivered routes, every traversed mixed good group
+				// must have filtered its bad minority out.
+				for _, h := range proto.Hops {
+					grp := g.Group(h.Leader)
+					if grp.BadCount() > 0 && !grp.Bad {
+						mixedTotal++
+						if h.Intact {
+							mixedIntact++
 						}
 					}
 				}
 			}
-			mi := 1.0
-			if mixedTotal > 0 {
-				mi = float64(mixedIntact) / float64(mixedTotal)
-			}
-			tab.Append(itoa(n), f3(beta), f4(float64(delivered)/float64(trials)),
-				f4(float64(agree)/float64(trials)), f4(mi), f1(float64(msgs)/float64(trials)))
 		}
+		mi := 1.0
+		if mixedTotal > 0 {
+			mi = float64(mixedIntact) / float64(mixedTotal)
+		}
+		return []string{itoa(c.n), f3(c.beta), f4(float64(delivered) / float64(trials)),
+			f4(float64(agree) / float64(trials)), f4(mi), f1(float64(msgs) / float64(trials))}
+	})
+	tab := &metrics.Table{Header: []string{"n", "beta", "delivered", "scoreAgree", "mixedHopsIntact", "msgs/route"}}
+	for _, r := range rows {
+		tab.Append(r...)
 	}
 	return Result{
 		ID: "e14", Title: "Secure routing protocol (majority filtering, §I)", Table: tab,
@@ -81,24 +93,30 @@ func E14SecureRouting(o Options) Result {
 }
 
 // E15Departures regenerates the §III churn-bound series: group survival
-// under mid-epoch departures, against the ε'/2 guarantee.
+// under mid-epoch departures, against the ε'/2 guarantee. Each departure
+// fraction is an engine trial.
 func E15Departures(o Options) Result {
 	n := 1 << 10
 	if o.Quick {
 		n = 512
 	}
-	tab := &metrics.Table{Header: []string{"departFrac", "bound(ε'/2)", "departed", "majLost", "redFrac", "searchFail"}}
-	for _, frac := range []float64{0.10, 0.25, 0.40, 0.60, 0.80} {
+	fracs := []float64{0.10, 0.25, 0.40, 0.60, 0.80}
+	rows := engine.Map(o.cfg(), "e15", len(fracs), func(fi int, rng *rand.Rand) []string {
+		frac := fracs[fi]
 		cfg := epoch.DefaultConfig(n)
 		cfg.MidEpochDepartures = frac
-		cfg.Seed = o.Seed
+		cfg.Seed = rng.Int63()
 		s, err := epoch.New(cfg)
 		if err != nil {
 			panic(err)
 		}
 		st := s.RunEpoch()
-		tab.Append(f3(frac), f3(cfg.Params.GoodDepartureBound()), itoa(st.DepartedMembers),
-			itoa(st.MajoritiesLost), f4(st.RedFraction[0]), f4(st.SearchFailRate))
+		return []string{f3(frac), f3(cfg.Params.GoodDepartureBound()), itoa(st.DepartedMembers),
+			itoa(st.MajoritiesLost), f4(st.RedFraction[0]), f4(st.SearchFailRate)}
+	})
+	tab := &metrics.Table{Header: []string{"departFrac", "bound(ε'/2)", "departed", "majLost", "redFrac", "searchFail"}}
+	for _, r := range rows {
+		tab.Append(r...)
 	}
 	return Result{
 		ID: "e15", Title: "Mid-epoch departures vs the ε'/2 bound (§III)", Table: tab,
@@ -113,7 +131,8 @@ func E15Departures(o Options) Result {
 // E16Bootstrap regenerates the Appendix IX check: pooling
 // O(log n / log log n) u.a.r. tiny groups yields a good-majority
 // bootstrapping set w.h.p., while trusting a single tiny group fails with
-// the bad-group probability.
+// the bad-group probability. Each β is an engine trial (its pool-size
+// sweep shares one constructed system).
 func E16Bootstrap(o Options) Result {
 	n := 1 << 12
 	trials := 600
@@ -121,17 +140,18 @@ func E16Bootstrap(o Options) Result {
 		n = 1 << 10
 		trials = 200
 	}
-	tab := &metrics.Table{Header: []string{"n", "beta", "groups", "poolSize", "goodMajorityRate"}}
-	for _, beta := range []float64{0.10, 0.20} {
+	betas := []float64{0.10, 0.20}
+	rows := engine.Map(o.cfg(), "e16", len(betas), func(bi int, rng *rand.Rand) [][]string {
+		beta := betas[bi]
 		cfg := epoch.DefaultConfig(n)
 		cfg.Params.Beta = beta
-		cfg.Seed = o.Seed
+		cfg.Seed = rng.Int63()
 		s, err := epoch.New(cfg)
 		if err != nil {
 			panic(err)
 		}
 		g := s.Graphs()[0]
-		rng := rand.New(rand.NewSource(o.Seed + 7))
+		var out [][]string
 		for _, count := range []int{1, epoch.BootGroupCount(n), 2 * epoch.BootGroupCount(n)} {
 			ok := 0
 			pool := 0
@@ -142,7 +162,14 @@ func E16Bootstrap(o Options) Result {
 					ok++
 				}
 			}
-			tab.Append(itoa(n), f3(beta), itoa(count), itoa(pool), f4(float64(ok)/float64(trials)))
+			out = append(out, []string{itoa(n), f3(beta), itoa(count), itoa(pool), f4(float64(ok) / float64(trials))})
+		}
+		return out
+	})
+	tab := &metrics.Table{Header: []string{"n", "beta", "groups", "poolSize", "goodMajorityRate"}}
+	for _, trialRows := range rows {
+		for _, r := range trialRows {
+			tab.Append(r...)
 		}
 	}
 	return Result{
@@ -156,7 +183,8 @@ func E16Bootstrap(o Options) Result {
 
 // E17OverlayAblation regenerates the design-choice ablation DESIGN.md
 // calls out: route length vs degree across de Bruijn bases and Chord —
-// the |G|²-per-hop cost makes D the multiplier tiny groups pay.
+// the |G|²-per-hop cost makes D the multiplier tiny groups pay. All five
+// constructions share one ring; each build+measure is an engine trial.
 func E17OverlayAblation(o Options) Result {
 	n := 1 << 13
 	samples := 1500
@@ -164,24 +192,30 @@ func E17OverlayAblation(o Options) Result {
 		n = 1 << 11
 		samples = 500
 	}
-	rng := rand.New(rand.NewSource(o.Seed))
-	r := overlay.UniformRing(n, rng)
-	tab := &metrics.Table{Header: []string{"overlay", "meanHops", "meanDeg", "hops*deg", "cong*n"}}
+	// One shared ring for every construction (Ring is concurrent-read safe).
+	r := overlay.UniformRing(n, rand.New(rand.NewSource(engine.TrialSeed(o.Seed, "e17/ring", 0))))
 	type entry struct {
 		name string
-		g    overlay.Graph
+		mk   func(rng *rand.Rand) overlay.Graph
 	}
 	entries := []entry{
-		{"chord", overlay.NewChord(r)},
-		{"debruijn-2", overlay.NewDeBruijn(r, 2)},
-		{"debruijn-4", overlay.NewDeBruijn(r, 4)},
-		{"debruijn-8", overlay.NewDeBruijn(r, 8)},
-		{"viceroy", overlay.NewViceroy(r, o.Seed)},
+		{"chord", func(*rand.Rand) overlay.Graph { return overlay.NewChord(r) }},
+		{"debruijn-2", func(*rand.Rand) overlay.Graph { return overlay.NewDeBruijn(r, 2) }},
+		{"debruijn-4", func(*rand.Rand) overlay.Graph { return overlay.NewDeBruijn(r, 4) }},
+		{"debruijn-8", func(*rand.Rand) overlay.Graph { return overlay.NewDeBruijn(r, 8) }},
+		{"viceroy", func(rng *rand.Rand) overlay.Graph { return overlay.NewViceroy(r, rng.Int63()) }},
 	}
-	for _, e := range entries {
-		p := overlay.Measure(e.g, samples, rng)
-		tab.Append(e.name, f1(p.MeanHops), f1(p.MeanDegree), f1(p.MeanHops*p.MeanDegree), f1(p.CongestionXN))
-	}
+	tab := engine.MapReduce(o.cfg(), "e17", len(entries),
+		&metrics.Table{Header: []string{"overlay", "meanHops", "meanDeg", "hops*deg", "cong*n"}},
+		func(ei int, rng *rand.Rand) []string {
+			e := entries[ei]
+			p := overlay.Measure(e.mk(rng), samples, rng)
+			return []string{e.name, f1(p.MeanHops), f1(p.MeanDegree), f1(p.MeanHops * p.MeanDegree), f1(p.CongestionXN)}
+		},
+		func(tab *metrics.Table, _ int, row []string) *metrics.Table {
+			tab.Append(row...)
+			return tab
+		})
 	return Result{
 		ID: "e17", Title: "Overlay ablation: route length vs degree", Table: tab,
 		Notes: []string{
@@ -194,15 +228,16 @@ func E17OverlayAblation(o Options) Result {
 
 // E18Quarantine regenerates the footnote-2 extension: groups expelling
 // misbehaving members, and the hardening it buys against later departures.
+// Each misbehavior probability is an engine trial.
 func E18Quarantine(o Options) Result {
 	n := 1 << 10
 	if o.Quick {
 		n = 512
 	}
 	const beta = 0.12
-	tab := &metrics.Table{Header: []string{"pMisbehave", "sweeps", "expelled", "residentBad", "majLost@30%dep"}}
-	for _, pMis := range []float64{0.0, 0.25, 1.0} {
-		rng := rand.New(rand.NewSource(o.Seed))
+	pMiss := []float64{0.0, 0.25, 1.0}
+	rows := engine.Map(o.cfg(), "e18", len(pMiss), func(pi int, rng *rand.Rand) []string {
+		pMis := pMiss[pi]
 		pl := adversary.Place(adversary.Config{N: n, Beta: beta, Strategy: adversary.Uniform}, rng)
 		ov := overlay.NewChord(pl.Ring())
 		params := groups.DefaultParams()
@@ -221,7 +256,11 @@ func E18Quarantine(o Options) Result {
 			}
 		}
 		rep := g.RemoveMembers(departed)
-		tab.Append(f3(pMis), itoa(sweeps), itoa(q.Expelled), itoa(resident), itoa(rep.LostMajority))
+		return []string{f3(pMis), itoa(sweeps), itoa(q.Expelled), itoa(resident), itoa(rep.LostMajority)}
+	})
+	tab := &metrics.Table{Header: []string{"pMisbehave", "sweeps", "expelled", "residentBad", "majLost@30%dep"}}
+	for _, r := range rows {
+		tab.Append(r...)
 	}
 	return Result{
 		ID: "e18", Title: "Quarantine of misbehaving members (footnote 2)", Table: tab,
@@ -234,7 +273,8 @@ func E18Quarantine(o Options) Result {
 }
 
 // E19AdaptivePoW regenerates the conclusion's open question, modeled after
-// [22]: puzzle work that tracks attack intensity.
+// [22]: puzzle work that tracks attack intensity. Each attack pattern is
+// an engine trial.
 func E19AdaptivePoW(o Options) Result {
 	n := 1 << 12
 	epochs := 24
@@ -244,8 +284,6 @@ func E19AdaptivePoW(o Options) Result {
 	}
 	const beta = 0.10
 	cfg := pow.DefaultAdaptiveConfig()
-	tab := &metrics.Table{Header: []string{"attackPattern", "honest/flatWork", "peakBadFrac", "betaBound"}}
-	rng := rand.New(rand.NewSource(o.Seed))
 	patterns := []struct {
 		name string
 		mk   func(i int) bool
@@ -255,13 +293,18 @@ func E19AdaptivePoW(o Options) Result {
 		{"1-in-2", func(i int) bool { return i%2 == 0 }},
 		{"always", func(int) bool { return true }},
 	}
-	for _, p := range patterns {
+	rows := engine.Map(o.cfg(), "e19", len(patterns), func(pi int, rng *rand.Rand) []string {
+		p := patterns[pi]
 		attacks := make([]bool, epochs)
 		for i := range attacks {
 			attacks[i] = p.mk(i)
 		}
 		res := pow.RunAdaptive(cfg, n, beta, attacks, rng)
-		tab.Append(p.name, f4(res.HonestWorkTotal/res.FlatWorkTotal), f4(res.PeakBadFraction), f3(beta))
+		return []string{p.name, f4(res.HonestWorkTotal / res.FlatWorkTotal), f4(res.PeakBadFraction), f3(beta)}
+	})
+	tab := &metrics.Table{Header: []string{"attackPattern", "honest/flatWork", "peakBadFrac", "betaBound"}}
+	for _, r := range rows {
+		tab.Append(r...)
 	}
 	return Result{
 		ID: "e19", Title: "Adaptive PoW: work only when attacked (conclusion / [22])", Table: tab,
@@ -274,7 +317,8 @@ func E19AdaptivePoW(o Options) Result {
 }
 
 // E20SizeDrift regenerates the §III Θ(n)-size remark: robustness under a
-// population oscillating by a constant factor each epoch.
+// population oscillating by a constant factor each epoch. Each drift level
+// is an engine trial (its epochs are causally chained inside).
 func E20SizeDrift(o Options) Result {
 	n := 1 << 10
 	epochs := 6
@@ -282,18 +326,27 @@ func E20SizeDrift(o Options) Result {
 		n = 512
 		epochs = 4
 	}
-	tab := &metrics.Table{Header: []string{"drift", "epoch", "n", "redFrac", "searchFail"}}
-	for _, drift := range []float64{0, 0.25, 0.5} {
+	drifts := []float64{0, 0.25, 0.5}
+	rows := engine.Map(o.cfg(), "e20", len(drifts), func(di int, rng *rand.Rand) [][]string {
+		drift := drifts[di]
 		cfg := epoch.DefaultConfig(n)
 		cfg.SizeDrift = drift
-		cfg.Seed = o.Seed
+		cfg.Seed = rng.Int63()
 		s, err := epoch.New(cfg)
 		if err != nil {
 			panic(err)
 		}
+		var out [][]string
 		for e := 0; e < epochs; e++ {
 			st := s.RunEpoch()
-			tab.Append(f3(drift), itoa(st.Epoch), itoa(st.N), f4(st.RedFraction[0]), f4(st.SearchFailRate))
+			out = append(out, []string{f3(drift), itoa(st.Epoch), itoa(st.N), f4(st.RedFraction[0]), f4(st.SearchFailRate)})
+		}
+		return out
+	})
+	tab := &metrics.Table{Header: []string{"drift", "epoch", "n", "redFrac", "searchFail"}}
+	for _, trialRows := range rows {
+		for _, r := range trialRows {
+			tab.Append(r...)
 		}
 	}
 	return Result{

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/ba"
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/overlay"
 	"repro/internal/pow"
@@ -13,76 +14,122 @@ import (
 
 // E6PoW regenerates the Lemma 11 table: adversary solution counts vs the
 // (1+ε)βn bound, uniformity of minted IDs, and a literal-puzzle validation
-// of the statistical model.
+// of the statistical model. The statistical cells, the literal solves, and
+// the sharded solve are all engine trials; the literal solutions are
+// re-verified in a parallel batch (the epoch-admission hot path).
 func E6PoW(o Options) Result {
 	ns := []int{1 << 12, 1 << 14}
 	if o.Quick {
 		ns = []int{1 << 12}
 	}
 	const T = 1 << 16
-	tab := &metrics.Table{Header: []string{"n", "beta", "minted", "bound(1.1βn)", "withinBound", "chi2uniform"}}
-	rng := rand.New(rand.NewSource(o.Seed))
+	type cell struct {
+		n    int
+		beta float64
+	}
+	var cells []cell
 	for _, n := range ns {
 		for _, beta := range []float64{0.05, 0.10, 0.20} {
-			tau := 2.0 / T
-			adv := int64(beta * float64(n) * T / 2)
-			m := pow.RunEpochMint(0, 0, adv, tau, rng)
-			minted := len(m.BadIDs)
-			bound := 1.1 * beta * float64(n)
-			counts := make([]int, 16)
-			for _, id := range m.BadIDs {
-				counts[id>>60]++
-			}
-			_, uniform := metrics.ChiSquareUniform(counts)
-			tab.Append(itoa(n), f3(beta), itoa(minted), f1(bound),
-				boolStr(float64(minted) <= bound), boolStr(uniform))
+			cells = append(cells, cell{n, beta})
 		}
 	}
-	// Literal-puzzle validation: solve with real hashing at τ = 2⁻¹⁰ and
-	// compare mean attempts with 1/τ.
+	statRows := engine.Map(o.cfg(), "e6/mint", len(cells), func(ci int, rng *rand.Rand) []string {
+		c := cells[ci]
+		tau := 2.0 / T
+		adv := int64(c.beta * float64(c.n) * T / 2)
+		m := pow.RunEpochMint(0, 0, adv, tau, rng)
+		minted := len(m.BadIDs)
+		bound := 1.1 * c.beta * float64(c.n)
+		counts := make([]int, 16)
+		for _, id := range m.BadIDs {
+			counts[id>>60]++
+		}
+		_, uniform := metrics.ChiSquareUniform(counts)
+		return []string{itoa(c.n), f3(c.beta), itoa(minted), f1(bound),
+			boolStr(float64(minted) <= bound), boolStr(uniform)}
+	})
+	tab := &metrics.Table{Header: []string{"n", "beta", "minted", "bound(1.1βn)", "withinBound", "chi2uniform"}}
+	for _, r := range statRows {
+		tab.Append(r...)
+	}
+
+	// Literal-puzzle validation: solve with real hashing at τ = 2⁻¹⁰,
+	// compare mean attempts with 1/τ, and batch-verify every solution.
 	p := pow.Params{Tau: ring.Point(^uint64(0) >> 10), StringLen: 32}
-	lrng := rand.New(rand.NewSource(o.Seed + 1))
 	r := pow.EpochString(o.Seed, 0, 32)
-	total, trials := 0, 60
-	for i := 0; i < trials; i++ {
-		sol, ok := pow.Solve(r, p, lrng, 1<<16)
-		if ok {
-			total += sol.Attempts
+	trials := 60
+	sols := engine.Map(o.cfg(), "e6/solve", trials, func(_ int, rng *rand.Rand) pow.Solution {
+		// On failure Solve reports Attempts = maxAttempts, which is the
+		// right contribution to the mean.
+		sol, _ := pow.Solve(r, p, rng, 1<<16)
+		return sol
+	})
+	total := 0
+	claims := make([]pow.Claim, 0, len(sols))
+	for _, sol := range sols {
+		total += sol.Attempts
+		if sol.Sigma != nil {
+			claims = append(claims, pow.Claim{ID: sol.ID, Sigma: sol.Sigma})
 		}
 	}
-	tab.Append("literal", "-", itoa(total/trials), f1(1024), boolStr(true), "-")
+	allVerified := len(claims) > 0
+	for _, ok := range pow.VerifyBatch(claims, r, p, o.cfg().Workers()) {
+		allVerified = allVerified && ok
+	}
+	tab.Append("literal", "-", itoa(total/trials), f1(1024), boolStr(allVerified), "-")
+
+	// Sharded solve: one puzzle fanned over the worker pool; the winning
+	// attempt index (and thus this row) is identical at every -parallel.
+	shardSeed := engine.TrialSeed(o.Seed, "e6/sharded", 0)
+	sol, ok := pow.SolveSharded(r, p, shardSeed, 1<<16, o.cfg().Workers())
+	verified := ok && pow.Verify(sol.ID, sol.Sigma, r, p)
+	tab.Append("sharded", "-", itoa(sol.Attempts), f1(1024), boolStr(verified), "-")
+
 	return Result{
 		ID: "e6", Title: "PoW minting bound and uniformity (Lemma 11)", Table: tab,
 		Notes: []string{
 			"Expected shape: minted ≤ (1+ε)βn for every β, IDs pass the chi-square uniformity test,",
 			"and the literal puzzle's mean attempts match 1/τ (validating the binomial substitution).",
+			"The sharded row solves one literal puzzle across the worker pool; its attempt index is",
+			"deterministic regardless of parallelism, and every solution re-verifies in batch.",
 		},
 	}
 }
 
 // E7Lottery regenerates the Lemma 12 table: winner coverage, solution-set
 // size, and message complexity of the string-propagation protocol, with
-// and without the split-release attack.
+// and without the split-release attack. Each n is one engine trial (the
+// two attack arms share its overlay adjacency).
 func E7Lottery(o Options) Result {
 	ns := []int{256, 512, 1024}
 	if o.Quick {
 		ns = []int{256}
 	}
 	const T = 1 << 16
-	tab := &metrics.Table{Header: []string{"n", "attack", "covered", "winners", "maxSet", "maxStored", "msgs", "msgs/(n·lnT)"}}
-	for _, n := range ns {
-		rng := rand.New(rand.NewSource(o.Seed))
+	rows := engine.Map(o.cfg(), "e7", len(ns), func(ni int, rng *rand.Rand) [][]string {
+		n := ns[ni]
 		r := overlay.UniformRing(n, rng)
 		ov := overlay.NewChord(r)
 		adj := pow.BuildAdjacency(ov)
+		// One lottery seed for both arms: the attack rows differ only in
+		// the adversary's behavior, not in the honest randomness.
+		lotterySeed := rng.Int63()
+		var out [][]string
 		for _, attack := range []string{"none", "split"} {
 			cfg := pow.DefaultLotteryConfig(n, T)
 			cfg.Attack = attack
-			cfg.Seed = o.Seed + int64(n)
+			cfg.Seed = lotterySeed
 			res := pow.RunLottery(cfg, adj)
 			norm := float64(res.SimMessages) / (float64(n) * math.Log(T))
-			tab.Append(itoa(n), attack, boolStr(res.WinnersCovered), itoa(res.DistinctWinners),
-				itoa(res.MaxSetSize), itoa(res.MaxStored), i64toa(res.SimMessages), f1(norm))
+			out = append(out, []string{itoa(n), attack, boolStr(res.WinnersCovered), itoa(res.DistinctWinners),
+				itoa(res.MaxSetSize), itoa(res.MaxStored), i64toa(res.SimMessages), f1(norm)})
+		}
+		return out
+	})
+	tab := &metrics.Table{Header: []string{"n", "attack", "covered", "winners", "maxSet", "maxStored", "msgs", "msgs/(n·lnT)"}}
+	for _, trialRows := range rows {
+		for _, r := range trialRows {
+			tab.Append(r...)
 		}
 	}
 	return Result{
@@ -96,17 +143,24 @@ func E7Lottery(o Options) Result {
 }
 
 // E11Precompute regenerates the §IV-B motivation table: the adversary's
-// usable IDs per epoch with and without string rotation.
+// usable IDs per epoch with and without string rotation. Epochs are
+// causally chained, so the run is one engine trial.
 func E11Precompute(o Options) Result {
 	epochs := 10
 	if o.Quick {
 		epochs = 6
 	}
-	rng := rand.New(rand.NewSource(o.Seed))
-	res := pow.RunPrecompute(epochs, 1<<16, 1.0/(1<<10), rng)
+	rows := engine.Map(o.cfg(), "e11", 1, func(_ int, rng *rand.Rand) [][]string {
+		res := pow.RunPrecompute(epochs, 1<<16, 1.0/(1<<10), rng)
+		var out [][]string
+		for j := 0; j < epochs; j++ {
+			out = append(out, []string{itoa(j + 1), itoa(res.UsableWithRotation[j]), itoa(res.UsableWithoutRotation[j])})
+		}
+		return out
+	})
 	tab := &metrics.Table{Header: []string{"epoch", "usable(rotation)", "usable(noRotation)"}}
-	for j := 0; j < epochs; j++ {
-		tab.Append(itoa(j+1), itoa(res.UsableWithRotation[j]), itoa(res.UsableWithoutRotation[j]))
+	for _, r := range rows[0] {
+		tab.Append(r...)
 	}
 	return Result{
 		ID: "e11", Title: "Pre-computation attack vs string rotation", Table: tab,
@@ -119,50 +173,64 @@ func E11Precompute(o Options) Result {
 
 // E13BA regenerates the Byzantine-agreement building-block table: agreement
 // and validity rates at group-sized instances with worst-case equivocators.
+// Each (|G|, behavior) cell is an engine trial; -trials multiplies the
+// per-cell BA runs.
 func E13BA(o Options) Result {
 	trials := 60
 	if o.Quick {
 		trials = 20
 	}
-	tab := &metrics.Table{Header: []string{"|G|", "t", "behavior", "agreed", "valid", "msgs/run"}}
-	rng := rand.New(rand.NewSource(o.Seed))
+	trials *= o.reps()
+	type cell struct {
+		n   int
+		beh string
+	}
+	var cells []cell
 	for _, n := range []int{8, 12, 16} {
-		tFaults := (n - 1) / 4
 		for _, beh := range []string{"equivocate", "silent"} {
-			agreed, valid := 0, 0
-			var msgs int64
-			for tr := 0; tr < trials; tr++ {
-				byz := map[int]bool{}
-				for len(byz) < tFaults {
-					byz[rng.Intn(n)] = true
-				}
-				// Half the trials are unanimous (validity checks), half mixed.
-				prefs := make([]int, n)
-				want := -1
-				if tr%2 == 0 {
-					v := tr / 2 % 2
-					for i := range prefs {
-						prefs[i] = v
-					}
-					want = v
-				} else {
-					for i := range prefs {
-						prefs[i] = rng.Intn(2)
-					}
-				}
-				res := ba.Run(n, tFaults, prefs, byz, beh)
-				if res.Agreed {
-					agreed++
-					if want == -1 || res.Value == want {
-						valid++
-					}
-				}
-				msgs += res.Messages
-			}
-			tab.Append(itoa(n), itoa(tFaults), beh,
-				f3(float64(agreed)/float64(trials)), f3(float64(valid)/float64(trials)),
-				i64toa(msgs/int64(trials)))
+			cells = append(cells, cell{n, beh})
 		}
+	}
+	rows := engine.Map(o.cfg(), "e13", len(cells), func(ci int, rng *rand.Rand) []string {
+		c := cells[ci]
+		tFaults := (c.n - 1) / 4
+		agreed, valid := 0, 0
+		var msgs int64
+		for tr := 0; tr < trials; tr++ {
+			byz := map[int]bool{}
+			for len(byz) < tFaults {
+				byz[rng.Intn(c.n)] = true
+			}
+			// Half the trials are unanimous (validity checks), half mixed.
+			prefs := make([]int, c.n)
+			want := -1
+			if tr%2 == 0 {
+				v := tr / 2 % 2
+				for i := range prefs {
+					prefs[i] = v
+				}
+				want = v
+			} else {
+				for i := range prefs {
+					prefs[i] = rng.Intn(2)
+				}
+			}
+			res := ba.Run(c.n, tFaults, prefs, byz, c.beh)
+			if res.Agreed {
+				agreed++
+				if want == -1 || res.Value == want {
+					valid++
+				}
+			}
+			msgs += res.Messages
+		}
+		return []string{itoa(c.n), itoa(tFaults), c.beh,
+			f3(float64(agreed) / float64(trials)), f3(float64(valid) / float64(trials)),
+			i64toa(msgs / int64(trials))}
+	})
+	tab := &metrics.Table{Header: []string{"|G|", "t", "behavior", "agreed", "valid", "msgs/run"}}
+	for _, r := range rows {
+		tab.Append(r...)
 	}
 	return Result{
 		ID: "e13", Title: "Byzantine agreement inside groups", Table: tab,

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/baseline"
+	"repro/internal/engine"
 	"repro/internal/groups"
 	"repro/internal/hashes"
 	"repro/internal/metrics"
@@ -24,7 +25,7 @@ func staticGraph(n int, beta float64, rng *rand.Rand) *groups.Graph {
 
 // E1StaticSearch regenerates the Lemma 4 / Theorem 3 static series: search
 // failure rate vs n at tiny group sizes, against the 1/log² n reference
-// shape.
+// shape. Each (n, β) cell is an independent engine trial.
 func E1StaticSearch(o Options) Result {
 	ns := []int{1 << 10, 1 << 12, 1 << 14, 1 << 16}
 	searches := 4000
@@ -33,16 +34,27 @@ func E1StaticSearch(o Options) Result {
 		searches = 1000
 	}
 	betas := []float64{0.05, 0.10}
-	tab := &metrics.Table{Header: []string{"n", "beta", "|G|", "redFrac", "searchFail", "1/ln^2(n)"}}
-	rng := rand.New(rand.NewSource(o.Seed))
+	type cell struct {
+		n    int
+		beta float64
+	}
+	var cells []cell
 	for _, n := range ns {
 		for _, beta := range betas {
-			g := staticGraph(n, beta, rng)
-			rob := g.MeasureRobustness(searches, rng)
-			ref := 1 / math.Pow(math.Log(float64(n)), 2)
-			tab.Append(itoa(n), f3(beta), itoa(g.GroupSize()), f4(rob.RedFraction),
-				f4(rob.SearchFailRate), f4(ref))
+			cells = append(cells, cell{n, beta})
 		}
+	}
+	rows := meanCells(o, "e1", len(cells), 3, func(ci, _ int, rng *rand.Rand) []float64 {
+		c := cells[ci]
+		g := staticGraph(c.n, c.beta, rng)
+		rob := g.MeasureRobustness(searches, rng)
+		return []float64{float64(g.GroupSize()), rob.RedFraction, rob.SearchFailRate}
+	})
+	tab := &metrics.Table{Header: []string{"n", "beta", "|G|", "redFrac", "searchFail", "1/ln^2(n)"}}
+	for ci, c := range cells {
+		ref := 1 / math.Pow(math.Log(float64(c.n)), 2)
+		tab.Append(itoa(c.n), f3(c.beta), itoa(int(math.Round(rows[ci][0]))), f4(rows[ci][1]),
+			f4(rows[ci][2]), f4(ref))
 	}
 	return Result{
 		ID: "e1", Title: "Static search success (Lemma 4 / Thm 3)", Table: tab,
@@ -62,22 +74,33 @@ func E2BadGroups(o Options) Result {
 	}
 	betas := []float64{0.05, 0.10, 0.15}
 	mults := []float64{1, 2, 3, 4, 6}
-	tab := &metrics.Table{Header: []string{"n", "beta", "mult", "|G|", "badFrac"}}
-	rng := rand.New(rand.NewSource(o.Seed))
+	type cell struct {
+		beta, mult float64
+		size       int
+	}
+	lnln := math.Log(math.Log(float64(n)))
+	var cells []cell
 	for _, beta := range betas {
-		pl := adversary.Place(adversary.Config{N: n, Beta: beta, Strategy: adversary.Uniform}, rng)
-		ov := overlay.NewChord(pl.Ring())
-		params := groups.DefaultParams()
-		params.Beta = beta
-		lnln := math.Log(math.Log(float64(n)))
 		for _, d := range mults {
 			size := int(math.Round(d * lnln))
 			if size < 2 {
 				size = 2
 			}
-			g := groups.BuildSized(ov, pl.BadSet(), params, hashes.H1, size)
-			tab.Append(itoa(n), f3(beta), f1(d), itoa(size), f4(g.BadFraction()))
+			cells = append(cells, cell{beta, d, size})
 		}
+	}
+	rows := meanCells(o, "e2", len(cells), 1, func(ci, _ int, rng *rand.Rand) []float64 {
+		c := cells[ci]
+		pl := adversary.Place(adversary.Config{N: n, Beta: c.beta, Strategy: adversary.Uniform}, rng)
+		ov := overlay.NewChord(pl.Ring())
+		params := groups.DefaultParams()
+		params.Beta = c.beta
+		g := groups.BuildSized(ov, pl.BadSet(), params, hashes.H1, c.size)
+		return []float64{g.BadFraction()}
+	})
+	tab := &metrics.Table{Header: []string{"n", "beta", "mult", "|G|", "badFrac"}}
+	for ci, c := range cells {
+		tab.Append(itoa(n), f3(c.beta), f1(c.mult), itoa(c.size), f4(rows[ci][0]))
 	}
 	return Result{
 		ID: "e2", Title: "Bad-group probability vs group size", Table: tab,
@@ -88,37 +111,55 @@ func E2BadGroups(o Options) Result {
 }
 
 // E3Costs regenerates the Corollary 1 cost table: tiny groups vs the
-// Θ(log n) baseline on two input-graph degree classes.
+// Θ(log n) baseline on two input-graph degree classes. Each (n, overlay)
+// pair is one engine trial producing both scheme rows.
 func E3Costs(o Options) Result {
 	ns := []int{1 << 12, 1 << 14, 1 << 16}
 	if o.Quick {
 		ns = []int{1 << 12}
 	}
 	const beta = 0.05
-	tab := &metrics.Table{Header: []string{"n", "overlay", "scheme", "|G|", "groupComm", "msgs/search", "state/ID"}}
-	rng := rand.New(rand.NewSource(o.Seed))
+	type cell struct {
+		n       int
+		builder int // index into overlay.Builders()
+	}
+	builders := overlay.Builders()
+	var cells []cell
 	for _, n := range ns {
-		pl := adversary.Place(adversary.Config{N: n, Beta: beta, Strategy: adversary.Uniform}, rng)
-		bad := pl.BadSet()
-		params := groups.DefaultParams()
-		params.Beta = beta
-		for _, b := range overlay.Builders() {
+		for bi, b := range builders {
 			if b.Name == "viceroy" {
 				continue // corollary needs one log-degree + one const-degree class
 			}
-			ov := b.Build(pl.Ring(), o.Seed)
-			for _, scheme := range []string{"tiny", "log"} {
-				var g *groups.Graph
-				if scheme == "tiny" {
-					g = groups.Build(ov, bad, params, hashes.H1)
-				} else {
-					g = baseline.BuildLogGroups(ov, bad, params, 2)
-				}
-				rob := g.MeasureRobustness(600, rng)
-				costs := g.MeasureCosts(256, rng)
-				tab.Append(itoa(n), b.Name, scheme, itoa(g.GroupSize()),
-					i64toa(costs.GroupCommMsgs), f1(rob.MeanMessages), f1(costs.MeanStatePerID))
+			cells = append(cells, cell{n, bi})
+		}
+	}
+	rows := engine.Map(o.cfg(), "e3", len(cells), func(ci int, rng *rand.Rand) [][]string {
+		c := cells[ci]
+		b := builders[c.builder]
+		pl := adversary.Place(adversary.Config{N: c.n, Beta: beta, Strategy: adversary.Uniform}, rng)
+		bad := pl.BadSet()
+		params := groups.DefaultParams()
+		params.Beta = beta
+		ov := b.Build(pl.Ring(), rng.Int63())
+		var out [][]string
+		for _, scheme := range []string{"tiny", "log"} {
+			var g *groups.Graph
+			if scheme == "tiny" {
+				g = groups.Build(ov, bad, params, hashes.H1)
+			} else {
+				g = baseline.BuildLogGroups(ov, bad, params, 2)
 			}
+			rob := g.MeasureRobustness(600, rng)
+			costs := g.MeasureCosts(256, rng)
+			out = append(out, []string{itoa(c.n), b.Name, scheme, itoa(g.GroupSize()),
+				i64toa(costs.GroupCommMsgs), f1(rob.MeanMessages), f1(costs.MeanStatePerID)})
+		}
+		return out
+	})
+	tab := &metrics.Table{Header: []string{"n", "overlay", "scheme", "|G|", "groupComm", "msgs/search", "state/ID"}}
+	for _, trialRows := range rows {
+		for _, r := range trialRows {
+			tab.Append(r...)
 		}
 	}
 	return Result{
@@ -141,21 +182,27 @@ func E8Knee(o Options) Result {
 	}
 	const beta = 0.10
 	mults := []float64{0.5, 0.75, 1, 1.5, 2, 3, 4}
-	tab := &metrics.Table{Header: []string{"n", "mult", "|G|", "badFrac", "searchFail"}}
-	rng := rand.New(rand.NewSource(o.Seed))
-	pl := adversary.Place(adversary.Config{N: n, Beta: beta, Strategy: adversary.Uniform}, rng)
-	ov := overlay.NewChord(pl.Ring())
-	params := groups.DefaultParams()
-	params.Beta = beta
 	lnln := math.Log(math.Log(float64(n)))
-	for _, d := range mults {
+	sizes := make([]int, len(mults))
+	for i, d := range mults {
 		size := int(math.Round(d * lnln))
 		if size < 1 {
 			size = 1
 		}
-		g := groups.BuildSized(ov, pl.BadSet(), params, hashes.H1, size)
+		sizes[i] = size
+	}
+	rows := meanCells(o, "e8", len(mults), 2, func(ci, _ int, rng *rand.Rand) []float64 {
+		pl := adversary.Place(adversary.Config{N: n, Beta: beta, Strategy: adversary.Uniform}, rng)
+		ov := overlay.NewChord(pl.Ring())
+		params := groups.DefaultParams()
+		params.Beta = beta
+		g := groups.BuildSized(ov, pl.BadSet(), params, hashes.H1, sizes[ci])
 		rob := g.MeasureRobustness(searches, rng)
-		tab.Append(itoa(n), f3(d), itoa(size), f4(g.BadFraction()), f4(rob.SearchFailRate))
+		return []float64{g.BadFraction(), rob.SearchFailRate}
+	})
+	tab := &metrics.Table{Header: []string{"n", "mult", "|G|", "badFrac", "searchFail"}}
+	for ci, d := range mults {
+		tab.Append(itoa(n), f3(d), itoa(sizes[ci]), f4(rows[ci][0]), f4(rows[ci][1]))
 	}
 	return Result{
 		ID: "e8", Title: "Group-size knee (§I-D)", Table: tab,
@@ -167,7 +214,8 @@ func E8Knee(o Options) Result {
 }
 
 // E9InputGraphs regenerates the P1–P4 verification table for all three
-// constructions, including the Lemma 5 adversarial-subset variant.
+// constructions, including the Lemma 5 adversarial-subset variant. Each
+// (n, mode) pair is one engine trial measuring all three overlays.
 func E9InputGraphs(o Options) Result {
 	ns := []int{1 << 10, 1 << 12}
 	samples := 2000
@@ -175,26 +223,43 @@ func E9InputGraphs(o Options) Result {
 		ns = []int{1 << 10}
 		samples = 600
 	}
-	tab := &metrics.Table{Header: []string{"n", "overlay", "ids", "hops/log2n", "maxLoad", "cong*n", "meanDeg"}}
-	rng := rand.New(rand.NewSource(o.Seed))
+	type cell struct {
+		n    int
+		mode string
+	}
+	var cells []cell
 	for _, n := range ns {
 		for _, mode := range []string{"uniform", "lemma5"} {
-			var r = overlay.UniformRing(n, rng)
-			if mode == "lemma5" {
+			cells = append(cells, cell{n, mode})
+		}
+	}
+	tab := engine.MapReduce(o.cfg(), "e9", len(cells),
+		&metrics.Table{Header: []string{"n", "overlay", "ids", "hops/log2n", "maxLoad", "cong*n", "meanDeg"}},
+		func(ci int, rng *rand.Rand) [][]string {
+			c := cells[ci]
+			r := overlay.UniformRing(c.n, rng)
+			if c.mode == "lemma5" {
 				pl := adversary.Place(adversary.Config{
-					N: n, Beta: 0.25, Strategy: adversary.Clustered, Span: 0.5,
+					N: c.n, Beta: 0.25, Strategy: adversary.Clustered, Span: 0.5,
 				}, rng)
 				r = pl.Ring()
 			}
+			var out [][]string
 			for _, b := range overlay.Builders() {
-				g := b.Build(r, o.Seed)
+				g := b.Build(r, rng.Int63())
 				p := overlay.Measure(g, samples, rng)
 				logn := math.Log2(float64(r.Len()))
-				tab.Append(itoa(n), b.Name, mode, f3(p.MeanHops/logn), f3(p.MaxLoad),
-					f1(p.CongestionXN), f1(p.MeanDegree))
+				out = append(out, []string{itoa(c.n), b.Name, c.mode, f3(p.MeanHops / logn),
+					f3(p.MaxLoad), f1(p.CongestionXN), f1(p.MeanDegree)})
 			}
-		}
-	}
+			return out
+		},
+		func(tab *metrics.Table, _ int, trialRows [][]string) *metrics.Table {
+			for _, r := range trialRows {
+				tab.Append(r...)
+			}
+			return tab
+		})
 	return Result{
 		ID: "e9", Title: "Input-graph properties P1–P4 (+ Lemma 5)", Table: tab,
 		Notes: []string{
