@@ -3,7 +3,12 @@
 
 GO ?= go
 
-.PHONY: build test bench lint ci
+# The hot-path micro-benchmarks recorded in BENCH_hotpaths.json: the oracle
+# hash APIs, ring successor lookups, overlay routing, group build/search and
+# the sim round loop — the three paths every experiment funnels through.
+HOTPATH_BENCH = BenchmarkRingSuccessor|BenchmarkHashPoint|BenchmarkHashOfPoint|BenchmarkHashPointsAt|BenchmarkXORInto|BenchmarkChordRoute|BenchmarkSimRound|BenchmarkGroupsBuild|BenchmarkGroupSearch|BenchmarkSecureRouteProtocol
+
+.PHONY: build test bench bench-json lint ci
 
 build:
 	$(GO) build ./...
@@ -13,6 +18,15 @@ test:
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# bench-json reruns the hot-path benchmarks with allocation reporting and
+# records them as BENCH_hotpaths.json — the repo's perf trajectory. Compare
+# against the committed file (git diff BENCH_hotpaths.json) before merging
+# perf-sensitive changes.
+bench-json:
+	$(GO) test -run=NONE -bench '$(HOTPATH_BENCH)' -benchmem -benchtime=200ms . \
+		| $(GO) run ./cmd/benchjson > BENCH_hotpaths.json
+	@echo "wrote BENCH_hotpaths.json"
 
 lint:
 	$(GO) vet ./...

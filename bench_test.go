@@ -17,6 +17,7 @@ import (
 	"repro/internal/pow"
 	"repro/internal/ring"
 	"repro/internal/secroute"
+	"repro/internal/sim"
 )
 
 // ---------------------------------------------------------------------------
@@ -150,8 +151,91 @@ func BenchmarkRingSuccessor(b *testing.B) {
 }
 
 func BenchmarkHashPointAt(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		hashes.H1.PointAt(ring.Point(i), i&7)
+	}
+}
+
+func BenchmarkHashPoint(b *testing.B) {
+	data := []byte("0123456789abcdef0123456789abcdef")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hashes.H1.Point(data)
+	}
+}
+
+func BenchmarkHashOfPoint(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hashes.F.OfPoint(ring.Point(i))
+	}
+}
+
+func BenchmarkHashPointsAt(b *testing.B) {
+	dst := make([]ring.Point, 12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hashes.H1.PointsAt(ring.Point(i), len(dst), dst)
+	}
+}
+
+func BenchmarkXORInto(b *testing.B) {
+	x := make([]byte, 32)
+	y := make([]byte, 32)
+	dst := make([]byte, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hashes.XORInto(dst, x, y)
+	}
+}
+
+// benchRingNode sends one allocation-free message to each ring neighbor per
+// round, so BenchmarkSimRound isolates the runtime's own per-round overhead.
+type benchRingNode struct {
+	left, right sim.NodeID
+	out         []sim.Message
+}
+
+func (n *benchRingNode) Step(round int, inbox []sim.Message) []sim.Message {
+	n.out = n.out[:0]
+	n.out = append(n.out,
+		sim.Message{To: n.left, Payload: "m"},
+		sim.Message{To: n.right, Payload: "m"})
+	return n.out
+}
+
+// BenchmarkSimRound measures one steady-state synchronous round on a fixed
+// 256-node ring topology (512 messages routed per round).
+func BenchmarkSimRound(b *testing.B) {
+	const n = 256
+	nodes := make([]sim.Node, n)
+	adj := make([][]sim.NodeID, n)
+	for i := range nodes {
+		l, r := sim.NodeID((i+n-1)%n), sim.NodeID((i+1)%n)
+		nodes[i] = &benchRingNode{left: l, right: r}
+		adj[i] = []sim.NodeID{l, r}
+	}
+	nw := sim.New(nodes)
+	nw.SetTopology(adj)
+	b.ReportAllocs()
+	b.ResetTimer()
+	nw.Run(b.N)
+}
+
+// BenchmarkGroupsBuild measures group-graph construction alone (overlay
+// built once outside the loop), the hot path of every epoch.
+func BenchmarkGroupsBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	pl := adversary.Place(adversary.Config{N: 1 << 12, Beta: 0.05, Strategy: adversary.Uniform}, rng)
+	params := groups.DefaultParams()
+	params.Beta = 0.05
+	ov := overlay.NewChord(pl.Ring())
+	bad := pl.BadSet()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		groups.Build(ov, bad, params, hashes.H1)
 	}
 }
 

@@ -1,0 +1,64 @@
+package main
+
+import "testing"
+
+func TestParseLineStandardMetrics(t *testing.T) {
+	b, ok := parseLine("BenchmarkSimRound-8   \t   64126\t      5695 ns/op\t       1 B/op\t       0 allocs/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if b.Name != "BenchmarkSimRound" {
+		t.Errorf("name = %q, want BenchmarkSimRound", b.Name)
+	}
+	if b.Iterations != 64126 || b.NsPerOp != 5695 {
+		t.Errorf("iters/ns = %d/%v", b.Iterations, b.NsPerOp)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 1 {
+		t.Errorf("B/op = %v, want 1", b.BytesPerOp)
+	}
+	if b.AllocsPerOp == nil || *b.AllocsPerOp != 0 {
+		t.Errorf("allocs/op = %v, want 0", b.AllocsPerOp)
+	}
+}
+
+func TestParseLineNoCPUSuffixAndCustomMetric(t *testing.T) {
+	b, ok := parseLine("BenchmarkE1StaticSearch \t 12\t 9000 ns/op\t 0.031 searchFail@n1k,b05")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if b.Name != "BenchmarkE1StaticSearch" {
+		t.Errorf("name = %q", b.Name)
+	}
+	if got := b.Metrics["searchFail@n1k,b05"]; got != 0.031 {
+		t.Errorf("custom metric = %v, want 0.031", got)
+	}
+}
+
+func TestParseLineRejectsNonBenchmarkLines(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \trepro\t3.683s",
+		"--- BENCH: BenchmarkFoo",
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("line %q wrongly parsed as benchmark", line)
+		}
+	}
+}
+
+func TestTrimCPUSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":    "BenchmarkFoo",
+		"BenchmarkFoo-16":   "BenchmarkFoo",
+		"BenchmarkFoo":      "BenchmarkFoo",
+		"BenchmarkFoo-bar":  "BenchmarkFoo-bar",
+		"BenchmarkFoo-2-16": "BenchmarkFoo-2",
+	}
+	for in, want := range cases {
+		if got := trimCPUSuffix(in); got != want {
+			t.Errorf("trimCPUSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -122,10 +122,15 @@ type System struct {
 	rng   *rand.Rand
 	epoch int
 
-	ids  *ring.Ring          // current generation's ID set (the "old" ring)
-	bad  map[ring.Point]bool //
-	g    [2]*groups.Graph    // the two old group graphs (g[1] nil if !TwoGraphs)
-	blue []ring.Point        // bootstrap candidates: blue in every old graph
+	ids *ring.Ring          // current generation's ID set (the "old" ring)
+	bad map[ring.Point]bool //
+	// badList mirrors bad in the adversary's deterministic minting order,
+	// so randomBadOldID is a pure function of the rng stream (selecting the
+	// k-th element of a map range would depend on Go's randomized map
+	// iteration order).
+	badList []ring.Point
+	g       [2]*groups.Graph // the two old group graphs (g[1] nil if !TwoGraphs)
+	blue    []ring.Point     // bootstrap candidates: blue in every old graph
 }
 
 // New creates a system in its trusted-initialization state (Appendix X):
@@ -141,6 +146,7 @@ func New(cfg Config) (*System, error) {
 	pl := adversary.Place(adversary.Config{N: cfg.N, Beta: cfg.Params.Beta, Strategy: cfg.Strategy}, s.rng)
 	s.ids = pl.Ring()
 	s.bad = pl.BadSet()
+	s.badList = pl.Bad
 	ov, err := s.buildOverlay(s.ids)
 	if err != nil {
 		return nil, err
@@ -231,17 +237,10 @@ func (s *System) randomBoot() ring.Point {
 // randomBadOldID returns a u.a.r. bad ID from the old generation (the
 // adversary's worst-case substitute when it fully controls a lookup).
 func (s *System) randomBadOldID() (ring.Point, bool) {
-	if len(s.bad) == 0 {
+	if len(s.badList) == 0 {
 		return 0, false
 	}
-	k := s.rng.Intn(len(s.bad))
-	for id := range s.bad {
-		if k == 0 {
-			return id, true
-		}
-		k--
-	}
-	return 0, false
+	return s.badList[s.rng.Intn(len(s.badList))], true
 }
 
 // RunEpoch advances the system one epoch: the whole population turns over
@@ -287,14 +286,15 @@ func (s *System) RunEpoch() Stats {
 		make(map[ring.Point]bool),
 	}
 	singles, duals := 0, 0
+	ptBuf := make([]ring.Point, size) // reused batch buffer for member points
 
 	for _, w := range newRing.Points() {
 		boot := s.randomBoot()
 		for l := 0; l < nGraphs; l++ {
-			// Group-membership requests (§III-A).
+			// Group-membership requests (§III-A): all d₂·ln ln n member
+			// points of G_w are derived in one batch-hash pass.
 			mlist := make([]groups.Member, 0, size)
-			for i := 1; i <= size; i++ {
-				p := hashFns[l].PointAt(w, i)
+			for _, p := range hashFns[l].PointsAt(w, size, ptBuf) {
 				if s.dualFails(boot, p, &st, &singles, &duals) {
 					// Both location searches failed: the adversary answers.
 					if id, ok := s.randomBadOldID(); ok {
@@ -428,6 +428,7 @@ func (s *System) RunEpoch() Stats {
 	// Swap generations.
 	s.ids = newRing
 	s.bad = newBad
+	s.badList = pl.Bad
 	s.g = newG
 	s.refreshBlue()
 	s.epoch++

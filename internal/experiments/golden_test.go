@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden experiment tables")
+
+// TestGoldenTables pins the seed-1 quick-mode tables of e1–e3 byte-for-byte
+// against checked-in goldens. This is the guard rail under the hot-path
+// work: hashing, ring lookups, group construction and the sim runtime may
+// get as fast as they like, but they may not change a single output byte.
+// Regenerate deliberately with `go test ./internal/experiments -run Golden
+// -update` and review the diff like any other result change.
+func TestGoldenTables(t *testing.T) {
+	for _, id := range []string{"e1", "e2", "e3"} {
+		t.Run(id, func(t *testing.T) {
+			e, ok := Lookup(id)
+			if !ok {
+				t.Fatalf("unknown experiment %s", id)
+			}
+			got := e.Run(Options{Quick: true, Seed: 1}).Table.String()
+			path := filepath.Join("testdata", id+"_seed1_quick.golden")
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden: %v (run with -update to create)", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s table deviates from golden %s.\n--- golden\n%s\n--- got\n%s\nIf the change is intentional, regenerate with -update and explain it in the PR.",
+					id, path, want, got)
+			}
+		})
+	}
+}

@@ -18,18 +18,24 @@ func BuildExplicit(ov overlay.Graph, badIDs map[ring.Point]bool, params Params,
 	members map[ring.Point][]Member, confused map[ring.Point]bool) *Graph {
 
 	r := ov.Ring()
+	n := r.Len()
 	g := &Graph{
 		ov:       ov,
 		params:   params,
 		badIDs:   badIDs,
-		groups:   make(map[ring.Point]*Group, r.Len()),
-		memberOf: make(map[ring.Point][]ring.Point, r.Len()),
-		size:     params.SizeFor(r.Len()),
+		byRank:   make([]*Group, n),
+		memberOf: make(map[ring.Point][]ring.Point, n),
+		size:     params.SizeFor(n),
 	}
-	for _, w := range r.Points() {
-		grp := &Group{Leader: w, Members: members[w], Confused: confused[w]}
+	g.buildRankIndex()
+	groupArena := make([]Group, n)
+	for wi, w := range r.Points() {
+		grp := &groupArena[wi]
+		grp.Leader = w
+		grp.Members = members[w]
+		grp.Confused = confused[w]
 		g.classify(grp)
-		g.groups[w] = grp
+		g.byRank[wi] = grp
 		for _, m := range grp.Members {
 			g.memberOf[m.ID] = append(g.memberOf[m.ID], w)
 		}
@@ -42,9 +48,9 @@ func BuildExplicit(ov overlay.Graph, badIDs map[ring.Point]bool, params Params,
 // good bootstrapping group).
 func (g *Graph) BlueLeaders() []ring.Point {
 	var out []ring.Point
-	for _, w := range g.ov.Ring().Points() {
-		if grp := g.groups[w]; grp != nil && !grp.Red() {
-			out = append(out, w)
+	for _, grp := range g.byRank {
+		if grp != nil && !grp.Red() {
+			out = append(out, grp.Leader)
 		}
 	}
 	return out

@@ -9,6 +9,7 @@ package groups
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/hashes"
 	"repro/internal/overlay"
@@ -120,11 +121,68 @@ type Graph struct {
 	params Params
 	hash   hashes.Func
 	badIDs map[ring.Point]bool
-	groups map[ring.Point]*Group
+	// byRank indexes groups by their leader's rank on the ring — leaders
+	// are exactly the ring's points, so a leader resolves to its group by
+	// rank instead of hashing a map[ring.Point]*Group per search hop.
+	byRank []*Group
+	// pts/idxStart/idxShift form a radix bucket index over the (immutable
+	// post-build) leader set: bucket b holds the first rank whose point's
+	// top bits reach b. With u.a.r. IDs a lookup costs ~1 probe; see rankOf.
+	pts      []ring.Point
+	idxStart []int32
+	idxShift uint
 	// memberOf indexes which groups each ID belongs to (state accounting,
 	// Lemma 10).
 	memberOf map[ring.Point][]ring.Point
 	size     int // target group size used at build time
+}
+
+// buildRankIndex precomputes the radix bucket index over the leader points.
+func (g *Graph) buildRankIndex() {
+	pts := g.ov.Ring().Points()
+	g.pts = pts
+	n := len(pts)
+	if n == 0 {
+		return
+	}
+	k := bits.Len(uint(n - 1)) // buckets = 2^k ≥ n, so density ≤ 1
+	buckets := 1 << k
+	g.idxShift = uint(64 - k)
+	start := make([]int32, buckets+1)
+	b := 0
+	for i, p := range pts {
+		pb := int(uint64(p) >> g.idxShift)
+		for b <= pb {
+			start[b] = int32(i)
+			b++
+		}
+	}
+	for ; b <= buckets; b++ {
+		start[b] = int32(n)
+	}
+	g.idxStart = start
+}
+
+// rankOf returns the rank of leader p, or ok=false if p leads no group.
+// Expected cost is one bucket probe plus ~1 comparison (u.a.r. leaders);
+// a clustered bucket falls back to the ring's O(log n) search after a
+// bounded scan, so adversarial placements cannot degrade it past that.
+func (g *Graph) rankOf(p ring.Point) (int, bool) {
+	if g.idxStart == nil {
+		return 0, false
+	}
+	i := int(g.idxStart[uint64(p)>>g.idxShift])
+	pts := g.pts
+	for scan := 0; scan < 16; scan++ {
+		if i >= len(pts) || pts[i] > p {
+			return 0, false
+		}
+		if pts[i] == p {
+			return i, true
+		}
+		i++
+	}
+	return g.ov.Ring().Index(p)
 }
 
 // Build constructs the group graph over ov. The i-th member of G_w is
@@ -138,6 +196,14 @@ func Build(ov overlay.Graph, badIDs map[ring.Point]bool, params Params, h hashes
 
 // BuildSized is Build with an explicit group size — used by the Θ(log n)
 // baseline construction and by group-size sweeps (experiment E8).
+//
+// The construction is a two-pass, arena-backed pipeline: pass 1 batch-hashes
+// every member point (hashes.PointsAt) and resolves it to a ring rank
+// (ring.SuccessorIndex), counting per-ID memberships; pass 2 carves all
+// groups, member lists and membership-index lists out of three shared
+// arenas. Group contents are bit-identical to the naive per-member loop —
+// only the allocation pattern changes (O(1) allocations instead of one per
+// group and per membership-list growth).
 func BuildSized(ov overlay.Graph, badIDs map[ring.Point]bool, params Params, h hashes.Func, size int) *Graph {
 	r := ov.Ring()
 	n := r.Len()
@@ -146,19 +212,72 @@ func BuildSized(ov overlay.Graph, badIDs map[ring.Point]bool, params Params, h h
 		params:   params,
 		hash:     h,
 		badIDs:   badIDs,
-		groups:   make(map[ring.Point]*Group, n),
+		byRank:   make([]*Group, n),
 		memberOf: make(map[ring.Point][]ring.Point, n),
 		size:     size,
 	}
-	for _, w := range r.Points() {
-		grp := &Group{Leader: w, Members: make([]Member, 0, size)}
-		for i := 1; i <= size; i++ {
-			id := r.Successor(h.PointAt(w, i))
-			grp.Members = append(grp.Members, Member{ID: id, Bad: badIDs[id]})
-			g.memberOf[id] = append(g.memberOf[id], w)
+	if n == 0 {
+		return g
+	}
+	g.buildRankIndex()
+	pts := r.Points()
+
+	badRank := make([]bool, n)
+	for id := range badIDs {
+		if i, ok := r.Index(id); ok {
+			badRank[i] = true
 		}
+	}
+
+	// Pass 1: member ranks and per-ID membership counts.
+	total := n * size
+	ranks := make([]int32, total)
+	counts := make([]int32, n)
+	ptBuf := make([]ring.Point, size)
+	for wi := range pts {
+		h.PointsAt(pts[wi], size, ptBuf)
+		row := ranks[wi*size : (wi+1)*size]
+		for i, p := range ptBuf {
+			mi := int32(r.SuccessorIndex(p))
+			row[i] = mi
+			counts[mi]++
+		}
+	}
+
+	// Pass 2a: groups and member lists from shared arenas.
+	groupArena := make([]Group, n)
+	memberArena := make([]Member, total)
+	for wi := range pts {
+		ms := memberArena[wi*size : (wi+1)*size : (wi+1)*size]
+		for i, mi := range ranks[wi*size : (wi+1)*size] {
+			ms[i] = Member{ID: pts[mi], Bad: badRank[mi]}
+		}
+		grp := &groupArena[wi]
+		grp.Leader = pts[wi]
+		grp.Members = ms
 		g.classify(grp)
-		g.groups[w] = grp
+		g.byRank[wi] = grp
+	}
+
+	// Pass 2b: membership index with exact-size lists from one arena, filled
+	// in ascending leader order (the order the naive loop appended in).
+	leaderArena := make([]ring.Point, total)
+	off := make([]int32, n+1)
+	for i, c := range counts {
+		off[i+1] = off[i] + c
+	}
+	fill := make([]int32, n)
+	for wi := range pts {
+		for _, mi := range ranks[wi*size : (wi+1)*size] {
+			leaderArena[off[mi]+fill[mi]] = pts[wi]
+			fill[mi]++
+		}
+	}
+	for mi, c := range counts {
+		if c == 0 {
+			continue
+		}
+		g.memberOf[pts[mi]] = leaderArena[off[mi]:off[mi+1]:off[mi+1]]
 	}
 	return g
 }
@@ -195,13 +314,23 @@ func (g *Graph) Params() Params { return g.params }
 func (g *Graph) GroupSize() int { return g.size }
 
 // Group returns G_w, or nil if w leads no group.
-func (g *Graph) Group(w ring.Point) *Group { return g.groups[w] }
+func (g *Graph) Group(w ring.Point) *Group {
+	i, ok := g.rankOf(w)
+	if !ok {
+		return nil
+	}
+	return g.byRank[i]
+}
+
+// GroupAt returns the group led by the ring's i-th point — the search hot
+// path's lookup when the rank is already known.
+func (g *Graph) GroupAt(i int) *Group { return g.byRank[i] }
 
 // Groups iterates over all groups in ring order of their leaders.
 func (g *Graph) Groups() []*Group {
-	out := make([]*Group, 0, len(g.groups))
-	for _, w := range g.ov.Ring().Points() {
-		if grp := g.groups[w]; grp != nil {
+	out := make([]*Group, 0, len(g.byRank))
+	for _, grp := range g.byRank {
+		if grp != nil {
 			out = append(out, grp)
 		}
 	}
@@ -209,7 +338,7 @@ func (g *Graph) Groups() []*Group {
 }
 
 // N returns the number of groups.
-func (g *Graph) N() int { return len(g.groups) }
+func (g *Graph) N() int { return len(g.byRank) }
 
 // IsBad reports whether the ID id is Byzantine.
 func (g *Graph) IsBad(id ring.Point) bool { return g.badIDs[id] }
@@ -220,7 +349,7 @@ func (g *Graph) MemberOf(id ring.Point) []ring.Point { return g.memberOf[id] }
 // SetConfused marks G_w as confused (used by the dynamic construction when
 // a neighbor request fails, §III-B).
 func (g *Graph) SetConfused(w ring.Point, confused bool) {
-	if grp := g.groups[w]; grp != nil {
+	if grp := g.Group(w); grp != nil {
 		grp.Confused = confused
 	}
 }
@@ -228,21 +357,21 @@ func (g *Graph) SetConfused(w ring.Point, confused bool) {
 // RedFraction returns the fraction of red groups — the empirical p_f of S2.
 func (g *Graph) RedFraction() float64 {
 	red := 0
-	for _, grp := range g.groups {
+	for _, grp := range g.byRank {
 		if grp.Red() {
 			red++
 		}
 	}
-	return float64(red) / float64(len(g.groups))
+	return float64(red) / float64(len(g.byRank))
 }
 
 // BadFraction returns the fraction of bad (not merely confused) groups.
 func (g *Graph) BadFraction() float64 {
 	bad := 0
-	for _, grp := range g.groups {
+	for _, grp := range g.byRank {
 		if grp.Bad {
 			bad++
 		}
 	}
-	return float64(bad) / float64(len(g.groups))
+	return float64(bad) / float64(len(g.byRank))
 }

@@ -86,7 +86,7 @@ func (q *Quarantine) Sweep(pMis float64, rng *rand.Rand) int {
 // blue groups — the quantity quarantine drives down.
 func (g *Graph) ResidentBadInBlue() int {
 	count := 0
-	for _, grp := range g.groups {
+	for _, grp := range g.byRank {
 		if grp.Red() {
 			continue
 		}

@@ -39,7 +39,10 @@ func (g *Graph) Search(src, key ring.Point) SearchResult {
 	}
 	var prev *Group
 	for i, w := range route {
-		grp := g.groups[w]
+		var grp *Group
+		if wi, isLeader := g.rankOf(w); isLeader {
+			grp = g.byRank[wi]
+		}
 		if grp == nil {
 			// Route passed through an ID with no group (cannot happen when
 			// every ID leads a group); treat as red.
@@ -127,15 +130,17 @@ func (g *Graph) MeasureCosts(sampleIDs int, rng *rand.Rand) Costs {
 	var hopCost int64
 	hops := 0
 	for i := 0; i < sampleIDs; i++ {
-		u := r.At(rng.Intn(n))
+		ui := rng.Intn(n)
+		u := r.At(ui)
 		state := 0
 		for _, leader := range g.memberOf[u] {
-			state += g.groups[leader].Size()
+			state += g.Group(leader).Size()
 		}
+		uSize := g.byRank[ui].Size()
 		for _, nb := range g.ov.Neighbors(u) {
-			if grp := g.groups[nb]; grp != nil {
+			if grp := g.Group(nb); grp != nil {
 				state += grp.Size()
-				hopCost += int64(g.groups[u].Size()) * int64(grp.Size())
+				hopCost += int64(uSize) * int64(grp.Size())
 				hops++
 			}
 		}

@@ -8,6 +8,11 @@
 // of them as SHA-256 with domain-separation tags, which under the
 // random-oracle assumption gives independent uniform functions. Range
 // elements are ring.Point values (64-bit fixed point in [0,1)).
+//
+// Every oracle query funnels through one-shot sha256.Sum256 calls over
+// stack-composed buffers, so the point APIs are allocation-free — they sit
+// on the hot path of group construction (d₂·ln ln n queries per group) and
+// PoW solving (one query per attempt).
 package hashes
 
 import (
@@ -43,14 +48,36 @@ func NewFunc(tag string) Func {
 	return Func{tag: []byte(tag)}
 }
 
-// Point hashes an arbitrary byte string to a point in [0,1).
-func (f Func) Point(data []byte) ring.Point {
+// oneShotMax bounds tag‖sep‖data compositions that hash via a stack buffer;
+// longer inputs take the streaming path. It covers every caller in this
+// repository (tags ≤ 8 bytes, data ≤ 64 bytes).
+const oneShotMax = 96
+
+// sum computes SHA-256(tag ‖ sep ‖ data) without heap allocation for
+// inputs up to oneShotMax bytes. The byte layout is identical to the
+// streaming fallback, so outputs never depend on which path ran.
+func (f Func) sum(sep byte, data []byte) [sha256.Size]byte {
+	if len(f.tag)+1+len(data) <= oneShotMax {
+		var buf [oneShotMax]byte
+		n := copy(buf[:], f.tag)
+		buf[n] = sep
+		n++
+		n += copy(buf[n:], data)
+		return sha256.Sum256(buf[:n])
+	}
 	h := sha256.New()
 	h.Write(f.tag)
-	h.Write([]byte{0})
+	h.Write([]byte{sep})
 	h.Write(data)
-	var sum [sha256.Size]byte
-	return ring.Point(binary.BigEndian.Uint64(h.Sum(sum[:0])))
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// Point hashes an arbitrary byte string to a point in [0,1).
+func (f Func) Point(data []byte) ring.Point {
+	s := f.sum(0, data)
+	return ring.Point(binary.BigEndian.Uint64(s[:8]))
 }
 
 // PointAt hashes a (point, index) pair, the paper's h(w, i) form used to
@@ -60,6 +87,38 @@ func (f Func) PointAt(w ring.Point, i int) ring.Point {
 	binary.BigEndian.PutUint64(buf[:8], uint64(w))
 	binary.BigEndian.PutUint64(buf[8:], uint64(i))
 	return f.Point(buf[:])
+}
+
+// PointsAt fills dst[:n] with the member points h(w,1) … h(w,n) — the batch
+// form group construction uses to locate all d₂·ln ln n members of G_w in
+// one pass. The tag‖sep‖w prefix is composed once and only the index field
+// is rewritten per query; outputs are bit-identical to calling PointAt(w, i)
+// for i = 1..n. dst is grown if its capacity is short; the filled slice is
+// returned.
+func (f Func) PointsAt(w ring.Point, n int, dst []ring.Point) []ring.Point {
+	if cap(dst) < n {
+		dst = make([]ring.Point, n)
+	}
+	dst = dst[:n]
+	if len(f.tag)+17 > oneShotMax {
+		for i := range dst {
+			dst[i] = f.PointAt(w, i+1)
+		}
+		return dst
+	}
+	var buf [oneShotMax]byte
+	p := copy(buf[:], f.tag)
+	buf[p] = 0 // the Point domain separator
+	p++
+	binary.BigEndian.PutUint64(buf[p:], uint64(w))
+	idx := buf[p+8 : p+16]
+	msg := buf[:p+16]
+	for i := range dst {
+		binary.BigEndian.PutUint64(idx, uint64(i+1))
+		s := sha256.Sum256(msg)
+		dst[i] = ring.Point(binary.BigEndian.Uint64(s[:8]))
+	}
+	return dst
 }
 
 // OfPoint hashes a single point, the composition form f(g(·)) of §IV-A.
@@ -72,13 +131,7 @@ func (f Func) OfPoint(p ring.Point) ring.Point {
 // Bytes hashes data to a 32-byte digest (used where a full-width string is
 // needed, e.g. lottery strings).
 func (f Func) Bytes(data []byte) [32]byte {
-	h := sha256.New()
-	h.Write(f.tag)
-	h.Write([]byte{1})
-	h.Write(data)
-	var out [32]byte
-	h.Sum(out[:0])
-	return out
+	return f.sum(1, data)
 }
 
 // XOR returns a ⊕ b, the paper's σ ⊕ r operation on ℓ·ln n-bit strings.
@@ -87,9 +140,24 @@ func XOR(a, b []byte) []byte {
 	if len(b) < n {
 		n = len(b)
 	}
-	out := make([]byte, n)
-	for i := 0; i < n; i++ {
-		out[i] = a[i] ^ b[i]
+	return XORInto(make([]byte, n), a, b)
+}
+
+// XORInto writes a ⊕ b into dst, truncating to the shortest of the three
+// slices, and returns the written prefix of dst. It is the allocation-free
+// form used by the PoW solve/verify hot loops; XOR is the allocating
+// convenience wrapper.
+func XORInto(dst, a, b []byte) []byte {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
 	}
-	return out
+	if len(dst) < n {
+		n = len(dst)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = a[i] ^ b[i]
+	}
+	return dst
 }

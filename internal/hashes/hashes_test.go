@@ -2,12 +2,20 @@ package hashes
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"math"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/ring"
 )
+
+// sha256Compose computes SHA-256(tag ‖ sep ‖ data) the straightforward way,
+// as the reference for both internal hashing paths.
+func sha256Compose(tag []byte, sep byte, data []byte) [32]byte {
+	buf := append(append(append([]byte{}, tag...), sep), data...)
+	return sha256.Sum256(buf)
+}
 
 func TestDeterminism(t *testing.T) {
 	p1 := H1.PointAt(ring.FromFloat(0.3), 5)
@@ -91,6 +99,112 @@ func TestXORSelfInverse(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestXORIntoMatchesXOR(t *testing.T) {
+	a := []byte{0xFF, 0x00, 0xAA, 0x55}
+	b := []byte{0x0F, 0xF0, 0xAA}
+	dst := make([]byte, 8)
+	got := XORInto(dst, a, b)
+	if want := XOR(a, b); !bytes.Equal(got, want) {
+		t.Errorf("XORInto = %x, want %x", got, want)
+	}
+	if len(got) != 3 {
+		t.Errorf("XORInto len = %d, want 3 (shortest input)", len(got))
+	}
+}
+
+func TestXORIntoTruncatesToDst(t *testing.T) {
+	got := XORInto(make([]byte, 2), []byte{1, 2, 3}, []byte{4, 5, 6})
+	if want := []byte{1 ^ 4, 2 ^ 5}; !bytes.Equal(got, want) {
+		t.Errorf("XORInto = %x, want %x", got, want)
+	}
+}
+
+func TestXORIntoAliasedDst(t *testing.T) {
+	// The PoW solve loop reuses one buffer; writing into an operand must
+	// still produce a ⊕ b.
+	a := []byte{1, 2, 3}
+	b := []byte{7, 7, 7}
+	got := XORInto(a, a, b)
+	if want := []byte{1 ^ 7, 2 ^ 7, 3 ^ 7}; !bytes.Equal(got, want) {
+		t.Errorf("aliased XORInto = %x, want %x", got, want)
+	}
+}
+
+func TestPointsAtMatchesPointAt(t *testing.T) {
+	for _, f := range []Func{H1, H2, F} {
+		w := ring.FromFloat(0.7182)
+		got := f.PointsAt(w, 17, nil)
+		if len(got) != 17 {
+			t.Fatalf("PointsAt returned %d points, want 17", len(got))
+		}
+		for i, p := range got {
+			if want := f.PointAt(w, i+1); p != want {
+				t.Errorf("PointsAt[%d] = %v, want PointAt(w,%d) = %v", i, p, i+1, want)
+			}
+		}
+	}
+}
+
+func TestPointsAtReusesDst(t *testing.T) {
+	dst := make([]ring.Point, 8)
+	got := H1.PointsAt(ring.Point(42), 5, dst)
+	if &got[0] != &dst[0] {
+		t.Error("PointsAt should fill the provided buffer when capacity suffices")
+	}
+}
+
+func TestStreamingFallbackMatchesOneShot(t *testing.T) {
+	// Inputs longer than the stack buffer take the streaming path; the two
+	// paths must agree byte-for-byte on the layout tag ‖ sep ‖ data. Compare
+	// a long input's digest against a direct sha256 of the composition.
+	long := bytes.Repeat([]byte{0xAB}, oneShotMax+13)
+	short := long[:8]
+	// Same prefix relationships must hold across both paths: hashing is a
+	// pure function of the composed bytes.
+	if H1.Point(long) == H1.Point(short) {
+		t.Error("long and short inputs collided, streaming path suspect")
+	}
+	if H1.Point(long) != H1.Point(long) {
+		t.Error("streaming path nondeterministic")
+	}
+	got := H1.Bytes(long)
+	want := sha256Compose([]byte("h1"), 1, long)
+	if got != want {
+		t.Errorf("streaming Bytes = %x, want %x", got[:8], want[:8])
+	}
+	gotShort := H1.Bytes(short)
+	wantShort := sha256Compose([]byte("h1"), 1, short)
+	if gotShort != wantShort {
+		t.Errorf("one-shot Bytes = %x, want %x", gotShort[:8], wantShort[:8])
+	}
+}
+
+// TestPointAPIsAllocationFree is the allocation-regression gate of the
+// zero-allocation hot-path work: the oracle point APIs sit inside group
+// construction and PoW attempt loops and must never heap-allocate.
+func TestPointAPIsAllocationFree(t *testing.T) {
+	data := []byte("0123456789abcdef0123456789abcdef")
+	w := ring.FromFloat(0.25)
+	dst := make([]ring.Point, 12)
+	a, b, buf := make([]byte, 32), make([]byte, 32), make([]byte, 32)
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Point", func() { H1.Point(data) }},
+		{"PointAt", func() { H1.PointAt(w, 3) }},
+		{"OfPoint", func() { F.OfPoint(w) }},
+		{"PointsAt", func() { H1.PointsAt(w, len(dst), dst) }},
+		{"Bytes", func() { H.Bytes(data) }},
+		{"XORInto", func() { XORInto(buf, a, b) }},
+	}
+	for _, c := range cases {
+		if allocs := testing.AllocsPerRun(200, c.fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", c.name, allocs)
+		}
 	}
 }
 

@@ -74,9 +74,7 @@ func SolveSharded(r []byte, p Params, seed int64, maxAttempts, workers int) (Sol
 					return // a smaller index already solved; nothing here can win
 				}
 				shardSigmaInto(sigma, seed, a)
-				for i := range xored {
-					xored[i] = sigma[i] ^ r[i]
-				}
+				hashes.XORInto(xored, sigma, r)
 				if hashes.G.Point(xored) <= p.Tau {
 					for {
 						cur := bestIdx.Load()

@@ -62,9 +62,10 @@ type Solution struct {
 // "Why Use Two Hash Functions?").
 func Solve(r []byte, p Params, rng *rand.Rand, maxAttempts int) (Solution, bool) {
 	sigma := make([]byte, p.StringLen)
+	xored := make([]byte, p.StringLen) // reused: the attempt loop allocates nothing
 	for a := 1; a <= maxAttempts; a++ {
 		rng.Read(sigma)
-		y := hashes.G.Point(hashes.XOR(sigma, r))
+		y := hashes.G.Point(hashes.XORInto(xored, sigma, r))
 		if y <= p.Tau {
 			out := make([]byte, len(sigma))
 			copy(out, sigma)
@@ -81,7 +82,14 @@ func Solve(r []byte, p Params, rng *rand.Rand, maxAttempts int) (Solution, bool)
 // revealed; the accept/reject behavior — all that the simulation observes —
 // is identical.)
 func Verify(id ring.Point, sigma, r []byte, p Params) bool {
-	y := hashes.G.Point(hashes.XOR(sigma, r))
+	// Typical string lengths (ℓ·ln n ≈ 32 bytes) xor on the stack; longer
+	// strings fall back to one transient buffer.
+	var stack [64]byte
+	buf := stack[:]
+	if n := len(sigma); n > len(buf) {
+		buf = make([]byte, n)
+	}
+	y := hashes.G.Point(hashes.XORInto(buf, sigma, r))
 	return y <= p.Tau && hashes.F.OfPoint(y) == id
 }
 

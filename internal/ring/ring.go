@@ -12,6 +12,7 @@ package ring
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 )
 
@@ -92,18 +93,79 @@ func (r *Ring) Len() int { return len(r.pts) }
 // the returned slice.
 func (r *Ring) Points() []Point { return r.pts }
 
+// search returns the smallest index i with pts[i] >= x (possibly len(pts)).
+// Successor lookups are the innermost loop of group construction and
+// routing, so this is interpolation-first: IDs are u.a.r. in [0,1), which
+// makes a point's rank track its value linearly and lets a few guesses
+// land within a handful of slots (expected O(log log n) probes). The
+// interpolation rounds are capped so clustered distributions (e.g. the
+// adversary's NearKey placement) degrade to plain O(log n) binary search,
+// never to linear scanning.
+func (r *Ring) search(x Point) int {
+	pts := r.pts
+	n := len(pts)
+	if n == 0 || x <= pts[0] {
+		return 0
+	}
+	if x > pts[n-1] {
+		return n
+	}
+	// Invariant: pts[lo] < x <= pts[hi].
+	lo, hi := 0, n-1
+	for iter := 0; iter < 4 && hi-lo > 8; iter++ {
+		span := uint64(pts[hi] - pts[lo])
+		frac := uint64(x - pts[lo])
+		phi, plo := bits.Mul64(uint64(hi-lo), frac)
+		q, _ := bits.Div64(phi, plo, span)
+		mid := lo + int(q)
+		if mid <= lo {
+			mid = lo + 1
+		} else if mid >= hi {
+			mid = hi - 1
+		}
+		if pts[mid] >= x {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	for hi-lo > 8 {
+		mid := int(uint(lo+hi) >> 1)
+		if pts[mid] >= x {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	for i := lo + 1; i < hi; i++ {
+		if pts[i] >= x {
+			return i
+		}
+	}
+	return hi
+}
+
 // Successor returns suc(x): the first point encountered moving clockwise
 // from x, where a point at exactly x is its own successor. Panics on an
 // empty ring.
 func (r *Ring) Successor(x Point) Point {
+	return r.pts[r.SuccessorIndex(x)]
+}
+
+// SuccessorIndex returns the rank of suc(x): the index into Points() of the
+// first point encountered moving clockwise from x (a point at exactly x is
+// its own successor). Builders that need both the successor and its rank —
+// e.g. group construction resolving d₂·ln ln n members per group — use this
+// to avoid a second search. Panics on an empty ring.
+func (r *Ring) SuccessorIndex(x Point) int {
 	if len(r.pts) == 0 {
-		panic("ring: Successor on empty ring")
+		panic("ring: SuccessorIndex on empty ring")
 	}
-	i := sort.Search(len(r.pts), func(i int) bool { return r.pts[i] >= x })
+	i := r.search(x)
 	if i == len(r.pts) {
 		i = 0 // wrap
 	}
-	return r.pts[i]
+	return i
 }
 
 // StrictSuccessor returns the first point strictly clockwise of x.
@@ -123,7 +185,7 @@ func (r *Ring) Predecessor(x Point) Point {
 	if len(r.pts) == 0 {
 		panic("ring: Predecessor on empty ring")
 	}
-	i := sort.Search(len(r.pts), func(i int) bool { return r.pts[i] >= x })
+	i := r.search(x)
 	if i == 0 {
 		return r.pts[len(r.pts)-1]
 	}
@@ -132,14 +194,14 @@ func (r *Ring) Predecessor(x Point) Point {
 
 // Contains reports whether x is a point on the ring.
 func (r *Ring) Contains(x Point) bool {
-	i := sort.Search(len(r.pts), func(i int) bool { return r.pts[i] >= x })
+	i := r.search(x)
 	return i < len(r.pts) && r.pts[i] == x
 }
 
 // Insert adds x to the ring if not already present, returning whether it
 // was added.
 func (r *Ring) Insert(x Point) bool {
-	i := sort.Search(len(r.pts), func(i int) bool { return r.pts[i] >= x })
+	i := r.search(x)
 	if i < len(r.pts) && r.pts[i] == x {
 		return false
 	}
@@ -151,7 +213,7 @@ func (r *Ring) Insert(x Point) bool {
 
 // Remove deletes x from the ring, returning whether it was present.
 func (r *Ring) Remove(x Point) bool {
-	i := sort.Search(len(r.pts), func(i int) bool { return r.pts[i] >= x })
+	i := r.search(x)
 	if i == len(r.pts) || r.pts[i] != x {
 		return false
 	}
@@ -168,7 +230,7 @@ func (r *Ring) Clone() *Ring {
 
 // Index returns the rank of x on the ring and whether x is present.
 func (r *Ring) Index(x Point) (int, bool) {
-	i := sort.Search(len(r.pts), func(i int) bool { return r.pts[i] >= x })
+	i := r.search(x)
 	if i < len(r.pts) && r.pts[i] == x {
 		return i, true
 	}

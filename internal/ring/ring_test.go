@@ -275,3 +275,83 @@ func TestInsertMaintainsSortedInvariant(t *testing.T) {
 		t.Fatalf("Len = %d, want %d", r.Len(), len(seen))
 	}
 }
+
+// TestSearchMatchesSortSearch cross-checks the interpolation-first search
+// against the sort.Search specification (smallest i with pts[i] >= x) on
+// uniform, clustered and degenerate point sets — the distributions the
+// adversary's placement strategies produce.
+func TestSearchMatchesSortSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	rings := map[string]*Ring{}
+
+	uniform := make([]Point, 4096)
+	for i := range uniform {
+		uniform[i] = Point(rng.Uint64())
+	}
+	rings["uniform"] = New(uniform)
+
+	clustered := make([]Point, 2048)
+	for i := range clustered {
+		// All points inside a 2^-20 arc: worst case for interpolation.
+		clustered[i] = Point(1<<44) + Point(rng.Uint64()>>20)
+	}
+	rings["clustered"] = New(clustered)
+
+	mixed := append(append([]Point{}, uniform[:512]...), clustered[:512]...)
+	rings["mixed"] = New(mixed)
+	rings["single"] = New([]Point{Point(1 << 63)})
+	rings["pair"] = New([]Point{0, ^Point(0)})
+
+	for name, r := range rings {
+		pts := r.Points()
+		check := func(x Point) {
+			want := sort.Search(len(pts), func(i int) bool { return pts[i] >= x })
+			var got int
+			if want == len(pts) {
+				// search is internal; exercise it through SuccessorIndex,
+				// which wraps len(pts) to 0.
+				if gi := r.SuccessorIndex(x); gi != 0 {
+					t.Fatalf("%s: SuccessorIndex(%v) = %d, want wrap to 0", name, x, gi)
+				}
+				return
+			}
+			got = r.SuccessorIndex(x)
+			if got != want {
+				t.Fatalf("%s: SuccessorIndex(%v) = %d, want %d", name, x, got, want)
+			}
+		}
+		for i := 0; i < 4000; i++ {
+			check(Point(rng.Uint64()))
+		}
+		for _, p := range pts { // exact hits and off-by-one probes
+			check(p)
+			check(p + 1)
+			check(p - 1)
+		}
+		check(0)
+		check(^Point(0))
+	}
+}
+
+// TestSuccessorIndex pins the rank-returning successor variant to Successor.
+func TestSuccessorIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	pts := make([]Point, 257)
+	for i := range pts {
+		pts[i] = Point(rng.Uint64())
+	}
+	r := New(pts)
+	for i := 0; i < 2000; i++ {
+		x := Point(rng.Uint64())
+		idx := r.SuccessorIndex(x)
+		if r.At(idx) != r.Successor(x) {
+			t.Fatalf("At(SuccessorIndex(%v)) = %v, Successor = %v", x, r.At(idx), r.Successor(x))
+		}
+	}
+	// Exact membership is its own successor.
+	for i := 0; i < r.Len(); i++ {
+		if r.SuccessorIndex(r.At(i)) != i {
+			t.Fatalf("point at rank %d is not its own successor", i)
+		}
+	}
+}

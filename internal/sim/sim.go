@@ -8,12 +8,21 @@
 // nodes with arbitrary Step implementations; the adversary's global
 // knowledge is modeled by letting Byzantine node constructors share state
 // among themselves (the paper's single coordinating adversary).
+//
+// The runtime is allocation-free in steady state: the worker pool is
+// started once per Run (not once per round), inboxes are double-buffered
+// and reused round over round, and outbox routing is sharded by recipient
+// across the same workers. Each recipient's inbox is filled by exactly one
+// worker scanning senders in ascending order, so inboxes arrive sorted by
+// (sender, send order) — a total, schedule-independent order that needs no
+// post-hoc sort.
 package sim
 
 import (
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
+	"sync/atomic"
 )
 
 // NodeID indexes a node in the network.
@@ -27,9 +36,13 @@ type Message struct {
 }
 
 // Node is a protocol participant. Step is called once per round with the
-// messages delivered this round (sorted by sender for determinism) and
-// returns the messages to deliver next round. Step implementations must not
-// retain or mutate the inbox slice.
+// messages delivered this round and returns the messages to deliver next
+// round. The inbox is sorted by sender, with multiple messages from one
+// sender appearing in the order that sender returned them — a deterministic
+// total order at every worker count. Step implementations must not retain
+// or mutate the inbox slice: its backing array is reused by a later round.
+// The returned outbox is only read until that node's next Step, so nodes
+// may reuse one backing slice across rounds.
 type Node interface {
 	Step(round int, inbox []Message) []Message
 }
@@ -37,15 +50,21 @@ type Node interface {
 // Network executes nodes in synchronous rounds.
 type Network struct {
 	nodes []Node
-	// adj restricts communication: if non-nil, a message from u is dropped
-	// unless its recipient appears in adj[u]. This models overlay-topology
-	// communication (good nodes only talk to neighbors).
-	adj []map[NodeID]bool
+	// adj restricts communication: a message from sender u < adjRestricted
+	// is dropped unless its recipient appears in the sorted slice adj[u].
+	// Senders at or beyond adjRestricted are unrestricted. This models
+	// overlay-topology communication (good nodes only talk to neighbors).
+	adj           [][]NodeID
+	adjRestricted int
 	// workers caps the Step worker pool; defaults to GOMAXPROCS.
 	workers int
 
-	inbox [][]Message
-	stats Stats
+	inbox    [][]Message // current-round inboxes, buffers reused across rounds
+	next     [][]Message // next-round inboxes under construction by routing
+	outboxes [][]Message
+
+	curRound int // round number workers read during a phase
+	stats    Stats
 }
 
 // Stats aggregates execution counters.
@@ -61,24 +80,45 @@ func New(nodes []Node) *Network {
 		nodes:   nodes,
 		workers: runtime.GOMAXPROCS(0),
 		inbox:   make([][]Message, len(nodes)),
+		next:    make([][]Message, len(nodes)),
 	}
 }
 
-// SetTopology restricts node u to send only to the IDs in adj[u].
-// Passing nil removes the restriction.
+// SetWorkers caps the Step worker pool at w (minimum 1; values above the
+// node count are clamped). The schedule never affects results, so this is a
+// wall-clock knob only — and a test hook for exercising the pool.
+func (nw *Network) SetWorkers(w int) {
+	if w < 1 {
+		w = 1
+	}
+	nw.workers = w
+}
+
+// SetTopology restricts node u to send only to the IDs in adj[u]; nodes
+// beyond len(adj) stay unrestricted. Passing nil removes the restriction.
 func (nw *Network) SetTopology(adj [][]NodeID) {
 	if adj == nil {
 		nw.adj = nil
+		nw.adjRestricted = 0
 		return
 	}
-	nw.adj = make([]map[NodeID]bool, len(nw.nodes))
+	nw.adj = make([][]NodeID, len(adj))
+	nw.adjRestricted = len(adj)
 	for u, nbs := range adj {
-		m := make(map[NodeID]bool, len(nbs))
-		for _, v := range nbs {
-			m[v] = true
-		}
-		nw.adj[u] = m
+		s := make([]NodeID, len(nbs))
+		copy(s, nbs)
+		slices.Sort(s)
+		nw.adj[u] = s
 	}
+}
+
+// allowed reports whether the topology permits a message from u to `to`.
+func (nw *Network) allowed(u int, to NodeID) bool {
+	if u >= nw.adjRestricted {
+		return true
+	}
+	_, ok := slices.BinarySearch(nw.adj[u], to)
+	return ok
 }
 
 // Len returns the number of nodes.
@@ -87,59 +127,151 @@ func (nw *Network) Len() int { return len(nw.nodes) }
 // Stats returns the counters accumulated so far.
 func (nw *Network) Stats() Stats { return nw.stats }
 
+// routeShard routes every outbox message whose recipient falls in shard s
+// of `shards` into the next-round inboxes, reusing their backing arrays.
+// Senders are scanned in ascending order, so each inbox is filled already
+// sorted by (sender, send order). Exactly one shard (s = 0) accounts for
+// messages with out-of-range recipients, which belong to no shard.
+//
+// Every shard scans all outbox headers and skips foreign recipients: the
+// cheap O(m) header scan is duplicated per worker so that the expensive
+// parts — topology checks and inbox appends — divide across workers while
+// each inbox keeps a single writer (which is what makes the delivery order
+// schedule-independent without a sort or merge step).
+func (nw *Network) routeShard(s, shards int, delivered, dropped *int64) {
+	n := len(nw.nodes)
+	lo, hi := s*n/shards, (s+1)*n/shards
+	for d := lo; d < hi; d++ {
+		nw.next[d] = nw.next[d][:0]
+	}
+	var del, drp int64
+	for u, out := range nw.outboxes {
+		for _, m := range out {
+			d := int(m.To)
+			if d < 0 || d >= n {
+				if s == 0 {
+					drp++
+				}
+				continue
+			}
+			if d < lo || d >= hi {
+				continue
+			}
+			if !nw.allowed(u, m.To) {
+				drp++
+				continue
+			}
+			m.From = NodeID(u) // senders cannot forge From
+			nw.next[d] = append(nw.next[d], m)
+			del++
+		}
+	}
+	*delivered += del
+	*dropped += drp
+}
+
+// phaseKind selects the work a pool phase performs.
+type phaseKind uint8
+
+const (
+	phaseStep phaseKind = iota
+	phaseRoute
+)
+
 // Run executes `rounds` synchronous rounds and returns the cumulative stats.
 func (nw *Network) Run(rounds int) Stats {
 	n := len(nw.nodes)
-	outboxes := make([][]Message, n)
+	if nw.outboxes == nil {
+		nw.outboxes = make([][]Message, n)
+	}
+	if nw.next == nil { // networks predating double-buffering (zero value)
+		nw.next = make([][]Message, n)
+	}
+	workers := nw.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return nw.runSerial(rounds)
+	}
+	return nw.runPool(rounds, workers)
+}
+
+// runSerial is the single-worker fast path: no goroutines, no atomics, and
+// zero allocations per round in steady state. Kept out of runPool so its
+// locals are not forced to the heap by the pool's closures.
+func (nw *Network) runSerial(rounds int) Stats {
 	for r := 0; r < rounds; r++ {
 		round := nw.stats.Rounds
-		// Fan Step calls out over a bounded worker pool (Effective Go's
-		// fixed-worker pattern).
-		var wg sync.WaitGroup
-		work := make(chan int)
-		for w := 0; w < nw.workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range work {
-					in := nw.inbox[i]
-					sort.Slice(in, func(a, b int) bool {
-						if in[a].From != in[b].From {
-							return in[a].From < in[b].From
-						}
-						return a < b
-					})
-					outboxes[i] = nw.nodes[i].Step(round, in)
-				}
-			}()
+		for i, nd := range nw.nodes {
+			nw.outboxes[i] = nd.Step(round, nw.inbox[i])
 		}
-		for i := 0; i < n; i++ {
-			work <- i
-		}
-		close(work)
-		wg.Wait()
-
-		// Route outboxes into next-round inboxes.
-		for i := range nw.inbox {
-			nw.inbox[i] = nil
-		}
-		for u, out := range outboxes {
-			for _, m := range out {
-				m.From = NodeID(u) // senders cannot forge From
-				if m.To < 0 || int(m.To) >= n {
-					nw.stats.Dropped++
-					continue
-				}
-				if nw.adj != nil && nw.adj[u] != nil && !nw.adj[u][m.To] {
-					nw.stats.Dropped++
-					continue
-				}
-				nw.inbox[m.To] = append(nw.inbox[m.To], m)
-				nw.stats.Delivered++
-			}
-			outboxes[u] = nil
-		}
+		nw.routeShard(0, 1, &nw.stats.Delivered, &nw.stats.Dropped)
+		nw.inbox, nw.next = nw.next, nw.inbox
 		nw.stats.Rounds++
+	}
+	return nw.stats
+}
+
+// runPool executes rounds on a worker pool started once for the whole Run.
+// Each round broadcasts two phases: Step (nodes claimed off a shared
+// cursor) and Route (recipient shards claimed the same way). Phase
+// hand-offs over `start` and the WaitGroup order all cross-worker memory
+// accesses.
+func (nw *Network) runPool(rounds, workers int) Stats {
+	n := len(nw.nodes)
+	var (
+		wg        sync.WaitGroup
+		cursor    atomic.Int64
+		start     = make(chan phaseKind)
+		delivered = make([]int64, workers)
+		dropped   = make([]int64, workers)
+	)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for ph := range start {
+				switch ph {
+				case phaseStep:
+					round := nw.curRound
+					for {
+						i := int(cursor.Add(1)) - 1
+						if i >= n {
+							break
+						}
+						nw.outboxes[i] = nw.nodes[i].Step(round, nw.inbox[i])
+					}
+				case phaseRoute:
+					for {
+						s := int(cursor.Add(1)) - 1
+						if s >= workers {
+							break
+						}
+						nw.routeShard(s, workers, &delivered[w], &dropped[w])
+					}
+				}
+				wg.Done()
+			}
+		}(w)
+	}
+	runPhase := func(ph phaseKind) {
+		cursor.Store(0)
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			start <- ph
+		}
+		wg.Wait()
+	}
+	for r := 0; r < rounds; r++ {
+		nw.curRound = nw.stats.Rounds
+		runPhase(phaseStep)
+		runPhase(phaseRoute)
+		nw.inbox, nw.next = nw.next, nw.inbox
+		nw.stats.Rounds++
+	}
+	close(start)
+	for w := 0; w < workers; w++ {
+		nw.stats.Delivered += delivered[w]
+		nw.stats.Dropped += dropped[w]
 	}
 	return nw.stats
 }

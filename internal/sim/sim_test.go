@@ -200,3 +200,188 @@ func TestInboxSortedBySender(t *testing.T) {
 		t.Fatal("inbox not sorted by sender")
 	}
 }
+
+// burstNode sends several distinguishable messages to one target in round 0.
+type burstNode struct {
+	target NodeID
+	count  int
+}
+
+func (b *burstNode) Step(round int, inbox []Message) []Message {
+	if round != 0 {
+		return nil
+	}
+	var out []Message
+	for k := 0; k < b.count; k++ {
+		out = append(out, Message{To: b.target, Payload: k})
+	}
+	return out
+}
+
+// recorderNode captures (sender, payload) pairs in delivery order.
+type recorderNode struct{ got [][2]int }
+
+func (r *recorderNode) Step(round int, inbox []Message) []Message {
+	for _, m := range inbox {
+		r.got = append(r.got, [2]int{int(m.From), m.Payload.(int)})
+	}
+	return nil
+}
+
+// TestSameSenderOrderDeterministic is the regression test for the
+// inconsistent inbox comparator the runtime used to have: multiple messages
+// from one sender tie-broke on unstable sort indices, so their relative
+// order was unspecified. The contract now is (sender, send order), at every
+// worker count.
+func TestSameSenderOrderDeterministic(t *testing.T) {
+	build := func() (*Network, *recorderNode) {
+		rec := &recorderNode{}
+		nodes := []Node{rec,
+			&burstNode{target: 0, count: 5},
+			&burstNode{target: 0, count: 3},
+			&burstNode{target: 0, count: 4},
+		}
+		return New(nodes), rec
+	}
+	var want [][2]int
+	for from := 1; from <= 3; from++ {
+		for k := 0; k < []int{0, 5, 3, 4}[from]; k++ {
+			want = append(want, [2]int{from, k})
+		}
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		nw, rec := build()
+		nw.SetWorkers(workers)
+		nw.Run(2)
+		if len(rec.got) != len(want) {
+			t.Fatalf("workers=%d: received %d messages, want %d", workers, len(rec.got), len(want))
+		}
+		for i := range want {
+			if rec.got[i] != want[i] {
+				t.Fatalf("workers=%d: delivery[%d] = %v, want %v (inbox must be sorted by sender with per-sender send order preserved)",
+					workers, i, rec.got[i], want[i])
+			}
+		}
+	}
+}
+
+// trafficNode deterministically sprays messages derived from (self, round)
+// so multi-round runs exercise routing, topology drops and ordering.
+type trafficNode struct {
+	self  NodeID
+	n     int
+	trace []int64
+	out   []Message
+}
+
+func (tn *trafficNode) Step(round int, inbox []Message) []Message {
+	var acc int64
+	for _, m := range inbox {
+		acc = acc*31 + int64(m.From) + int64(m.Payload.(int))
+	}
+	tn.trace = append(tn.trace, acc)
+	tn.out = tn.out[:0]
+	for k := 0; k < 3; k++ {
+		to := NodeID((int(tn.self) + (round+1)*(k+1)) % (tn.n + 2)) // some land out of range/topology
+		tn.out = append(tn.out, Message{To: to, Payload: int(tn.self)*100 + round + k})
+	}
+	return tn.out
+}
+
+// TestWorkerCountNeverChangesResults runs one deterministic traffic pattern
+// at several pool sizes and demands identical per-node observation traces
+// and stats — the sim-level version of the repo's -parallel 1 ≡ -parallel 8
+// contract.
+func TestWorkerCountNeverChangesResults(t *testing.T) {
+	run := func(workers int) ([][]int64, Stats) {
+		const n = 31
+		nodes := make([]Node, n)
+		tns := make([]*trafficNode, n)
+		adj := make([][]NodeID, n)
+		for i := range nodes {
+			tns[i] = &trafficNode{self: NodeID(i), n: n}
+			nodes[i] = tns[i]
+			for d := 1; d <= 4; d++ {
+				adj[i] = append(adj[i], NodeID((i+d)%n))
+			}
+		}
+		nw := New(nodes)
+		nw.SetTopology(adj)
+		nw.SetWorkers(workers)
+		st := nw.Run(9)
+		traces := make([][]int64, n)
+		for i, tn := range tns {
+			traces[i] = tn.trace
+		}
+		return traces, st
+	}
+	wantTraces, wantStats := run(1)
+	for _, workers := range []int{2, 4, 16} {
+		traces, stats := run(workers)
+		if stats != wantStats {
+			t.Fatalf("workers=%d: stats %+v, want %+v", workers, stats, wantStats)
+		}
+		for i := range traces {
+			for j := range wantTraces[i] {
+				if traces[i][j] != wantTraces[i][j] {
+					t.Fatalf("workers=%d: node %d trace diverges at round %d", workers, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestSteadyStateRoundAllocationFree is the allocation-regression gate for
+// the persistent runtime: once inbox/outbox buffers have warmed up, a round
+// on a fixed topology must not allocate at all (single-worker path, which
+// is what GOMAXPROCS=1 CI exercises).
+func TestSteadyStateRoundAllocationFree(t *testing.T) {
+	const n = 64
+	nodes := make([]Node, n)
+	adj := make([][]NodeID, n)
+	for i := range nodes {
+		l, r := NodeID((i+n-1)%n), NodeID((i+1)%n)
+		nodes[i] = &benchStyleNode{left: l, right: r}
+		adj[i] = []NodeID{l, r}
+	}
+	nw := New(nodes)
+	nw.SetTopology(adj)
+	nw.SetWorkers(1)
+	nw.Run(4) // warm up buffers
+	if allocs := testing.AllocsPerRun(50, func() { nw.Run(1) }); allocs != 0 {
+		t.Errorf("steady-state round: %v allocs/op, want 0", allocs)
+	}
+}
+
+// benchStyleNode mirrors the BenchmarkSimRound node: allocation-free Steps.
+type benchStyleNode struct {
+	left, right NodeID
+	out         []Message
+}
+
+func (b *benchStyleNode) Step(round int, inbox []Message) []Message {
+	b.out = b.out[:0]
+	b.out = append(b.out,
+		Message{To: b.left, Payload: "m"},
+		Message{To: b.right, Payload: "m"})
+	return b.out
+}
+
+// TestTopologyUnlistedSendersUnrestricted pins the adjacency-slice port of
+// SetTopology to the original map semantics: senders beyond the passed
+// adjacency stay unrestricted, listed senders (even with empty lists) are
+// restricted, and SetTopology(nil) clears everything.
+func TestTopologyUnlistedSendersUnrestricted(t *testing.T) {
+	nodes := []Node{&recorderNode{}, &burstNode{target: 0, count: 1}, &burstNode{target: 0, count: 1}}
+	nw := New(nodes)
+	nw.SetTopology([][]NodeID{0: {}, 1: {}}) // node 2 unlisted → unrestricted
+	st := nw.Run(2)
+	if st.Delivered != 1 || st.Dropped != 1 {
+		t.Fatalf("delivered/dropped = %d/%d, want 1/1 (only the unlisted sender passes)", st.Delivered, st.Dropped)
+	}
+	nw.SetTopology(nil)
+	st = nw.Run(1)
+	if st.Dropped != 1 {
+		t.Fatalf("clearing topology changed drop accounting: %+v", st)
+	}
+}
