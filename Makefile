@@ -8,6 +8,11 @@ GO ?= go
 # the sim round loop — the three paths every experiment funnels through.
 HOTPATH_BENCH = BenchmarkRingSuccessor|BenchmarkHashPoint|BenchmarkHashOfPoint|BenchmarkHashPointsAt|BenchmarkXORInto|BenchmarkChordRoute|BenchmarkSimRound|BenchmarkGroupsBuild|BenchmarkGroupSearch|BenchmarkSecureRouteProtocol
 
+# The epoch-pipeline benchmarks recorded in BENCH_epoch.json: steady-state
+# RunEpoch at one worker, the same on the default pool, and the E4-shaped
+# init + 3-epoch sweep.
+EPOCH_BENCH = BenchmarkRunEpoch|BenchmarkRunEpochParallel|BenchmarkEpochSweep
+
 .PHONY: build test bench bench-json lint ci
 
 build:
@@ -19,14 +24,18 @@ test:
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
-# bench-json reruns the hot-path benchmarks with allocation reporting and
-# records them as BENCH_hotpaths.json — the repo's perf trajectory. Compare
-# against the committed file (git diff BENCH_hotpaths.json) before merging
-# perf-sensitive changes.
+# bench-json reruns the hot-path and epoch-pipeline benchmarks with
+# allocation reporting and records them as BENCH_hotpaths.json /
+# BENCH_epoch.json — the repo's perf trajectory. Compare against the
+# committed files (git diff BENCH_*.json) before merging perf-sensitive
+# changes.
 bench-json:
 	$(GO) test -run=NONE -bench '$(HOTPATH_BENCH)' -benchmem -benchtime=200ms . \
 		| $(GO) run ./cmd/benchjson > BENCH_hotpaths.json
 	@echo "wrote BENCH_hotpaths.json"
+	$(GO) test -run=NONE -bench '$(EPOCH_BENCH)' -benchmem -benchtime=200ms . \
+		| $(GO) run ./cmd/benchjson > BENCH_epoch.json
+	@echo "wrote BENCH_epoch.json"
 
 lint:
 	$(GO) vet ./...

@@ -420,6 +420,64 @@ func BenchmarkEpochConstruction(b *testing.B) {
 			b.Fatal(err)
 		}
 		s.RunEpoch()
+		s.Close()
+	}
+}
+
+// BenchmarkRunEpoch measures one steady-state epoch (n = 1024, defaults)
+// at a single worker — the sequential-pipeline number BENCH_epoch.json
+// tracks. The pre-pipeline sequential implementation measured
+// 83.6 ms/op and 1,036,614 allocs/op on the same workload.
+func BenchmarkRunEpoch(b *testing.B) {
+	cfg := epoch.DefaultConfig(1024)
+	cfg.Seed = 1
+	cfg.Workers = 1
+	s, err := epoch.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunEpoch()
+	}
+}
+
+// BenchmarkRunEpochParallel is BenchmarkRunEpoch on the default worker
+// pool (GOMAXPROCS) — results are byte-identical to the 1-worker run; only
+// wall-clock moves.
+func BenchmarkRunEpochParallel(b *testing.B) {
+	cfg := epoch.DefaultConfig(1024)
+	cfg.Seed = 1
+	s, err := epoch.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunEpoch()
+	}
+}
+
+// BenchmarkEpochSweep measures the E4-shaped workload end to end: trusted
+// initialization plus a three-epoch dynamic chain at n = 512, including
+// graph construction and generation swaps.
+func BenchmarkEpochSweep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := epoch.DefaultConfig(512)
+		cfg.Seed = int64(i + 1)
+		s, err := epoch.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for e := 0; e < 3; e++ {
+			s.RunEpoch()
+		}
+		s.Close()
 	}
 }
 

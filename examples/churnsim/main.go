@@ -32,6 +32,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		defer sys.Close()
 		for e := 0; e < epochs; e++ {
 			st := sys.RunEpoch()
 			fmt.Printf("%-7d %-10.4f %-10.4f %-10.4f %-11.4f\n",

@@ -136,6 +136,7 @@ func TestIntegrationErosionRegimes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		defer s.Close()
 		var rates []float64
 		for e := 0; e < epochs; e++ {
 			rates = append(rates, s.RunEpoch().SearchFailRate)

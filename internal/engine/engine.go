@@ -41,11 +41,30 @@ func (c Config) Workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// trialSeedOneShotMax bounds the rootSeed ‖ scope ‖ trial compositions that
+// hash via a stack buffer; longer scopes take the streaming path. Every
+// scope in this repository is far below the 48-byte budget.
+const trialSeedOneShotMax = 64
+
 // TrialSeed derives the deterministic seed of one trial as
 // SHA-256(rootSeed ‖ scope ‖ trial) truncated to 63 bits. The scope string
 // (conventionally "experimentID" or "experimentID/stage") keeps distinct
 // trial batches on disjoint randomness streams even under one root seed.
+//
+// Short scopes hash through a one-shot sha256.Sum256 over a stack buffer, so
+// the call is allocation-free — it sits on the per-ID hot path of the epoch
+// pipeline, which derives one stream per new ID per epoch. The byte layout
+// is identical to the streaming fallback, so outputs never depend on which
+// path ran.
 func TrialSeed(rootSeed int64, scope string, trial int) int64 {
+	if 16+len(scope) <= trialSeedOneShotMax {
+		var buf [trialSeedOneShotMax]byte
+		binary.BigEndian.PutUint64(buf[:8], uint64(rootSeed))
+		n := 8 + copy(buf[8:], scope)
+		binary.BigEndian.PutUint64(buf[n:], uint64(trial))
+		sum := sha256.Sum256(buf[:n+8])
+		return int64(binary.BigEndian.Uint64(sum[:8]) &^ (1 << 63))
+	}
 	h := sha256.New()
 	var buf [8]byte
 	binary.BigEndian.PutUint64(buf[:], uint64(rootSeed))

@@ -9,6 +9,19 @@
 // searches fail (probability q_f², the crux of Lemma 9's error
 // non-accumulation). Setting Config.TwoGraphs to false gives the naive
 // single-graph protocol the paper argues against, used as the E5 ablation.
+//
+// # Parallel construction
+//
+// The per-ID work of an epoch — member-point location, request
+// verification, neighbor establishment for one new ID w — touches only the
+// two *immutable* old graphs and the new overlay, so the construction is
+// embarrassingly parallel per new ID. RunEpoch exploits that: every new ID
+// draws its randomness from a private stream derived by hashing
+// (epoch seed, rank of w), exactly the engine.TrialSeed scheme the
+// experiment runner uses per trial, and the per-ID tasks fan across a
+// persistent worker pool writing into rank-indexed arenas. Randomness never
+// depends on scheduling and tallies are integer sums, so Stats and the
+// resulting graphs are bit-identical at every Config.Workers setting.
 package epoch
 
 import (
@@ -16,6 +29,7 @@ import (
 	"math/rand"
 
 	"repro/internal/adversary"
+	"repro/internal/engine"
 	"repro/internal/groups"
 	"repro/internal/hashes"
 	"repro/internal/overlay"
@@ -47,7 +61,11 @@ type Config struct {
 	// each epoch the population alternates between N·(1−drift) and
 	// N·(1+drift). Zero keeps the size constant (the default model).
 	SizeDrift float64
-	Seed      int64
+	// Workers caps the construction worker pool; 0 means GOMAXPROCS. It
+	// affects wall-clock only: per-ID randomness streams make every result
+	// identical at every setting.
+	Workers int
+	Seed    int64
 }
 
 // DefaultConfig returns a paper-faithful configuration. Beta defaults to
@@ -116,6 +134,39 @@ type Stats struct {
 	Searches       int64
 }
 
+// tally accumulates one worker's integer counters for a parallel phase.
+// Integer sums commute, so merging per-worker tallies in worker order gives
+// the same totals as the sequential loop regardless of which worker ran
+// which ID.
+type tally struct {
+	searches  int64
+	messages  int64
+	singles   int
+	duals     int
+	forcedBad int
+	errReject int
+	spamAcc   int
+}
+
+func (t *tally) add(o *tally) {
+	t.searches += o.searches
+	t.messages += o.messages
+	t.singles += o.singles
+	t.duals += o.duals
+	t.forcedBad += o.forcedBad
+	t.errReject += o.errReject
+	t.spamAcc += o.spamAcc
+}
+
+// workerScratch is one worker's private reusable state. The trailing pad
+// keeps adjacent workers' hot tallies off a shared cache line.
+type workerScratch struct {
+	sc    groups.SearchScratch
+	ptBuf []ring.Point
+	t     tally
+	_     [64]byte
+}
+
 // System is a running dynamic deployment.
 type System struct {
 	cfg   Config
@@ -125,16 +176,37 @@ type System struct {
 	ids *ring.Ring          // current generation's ID set (the "old" ring)
 	bad map[ring.Point]bool //
 	// badList mirrors bad in the adversary's deterministic minting order,
-	// so randomBadOldID is a pure function of the rng stream (selecting the
-	// k-th element of a map range would depend on Go's randomized map
-	// iteration order).
+	// so bad-ID substitution is a pure function of the per-ID stream.
 	badList []ring.Point
+	// goodList holds the old generation's good IDs in ring order, goodRank
+	// their ring ranks. Both are precomputed at generation swap (alongside
+	// badRank) so the spam phase never rebuilds them from a full ring scan.
+	goodList []ring.Point
+	goodRank []int32
+	// badRank mirrors bad, indexed by ring rank — the branch-free form the
+	// per-member inner loop reads.
+	badRank []bool
 	g       [2]*groups.Graph // the two old group graphs (g[1] nil if !TwoGraphs)
 	blue    []ring.Point     // bootstrap candidates: blue in every old graph
+	// blueRank mirrors blue as ring ranks — bootstrap leaders enter the
+	// dual search as precomputed ranks, skipping the per-route src lookup.
+	blueRank []int32
+
+	pool    *engine.Pool    // persistent construction pool, one per System
+	scratch []workerScratch // one entry per pool worker, reused across epochs
+
+	// Rank-indexed construction buffers. The outer index slices are reused
+	// across epochs; memberArena is allocated fresh each epoch because the
+	// generation's graphs retain views into it (see sizeArenas).
+	memberArena []groups.Member
+	members     [2][][]groups.Member
+	confused    [2][]bool
+	departFlag  []bool
 }
 
 // New creates a system in its trusted-initialization state (Appendix X):
 // the two epoch-0 graphs are built directly with ground-truth memberships.
+// Call Close when done with the system to release its worker pool.
 func New(cfg Config) (*System, error) {
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, err
@@ -143,6 +215,8 @@ func New(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("epoch: N = %d too small", cfg.N)
 	}
 	s := &System{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	s.pool = engine.NewPool(cfg.Workers)
+	s.scratch = make([]workerScratch, s.pool.Workers())
 	pl := adversary.Place(adversary.Config{N: cfg.N, Beta: cfg.Params.Beta, Strategy: cfg.Strategy}, s.rng)
 	s.ids = pl.Ring()
 	s.bad = pl.BadSet()
@@ -155,8 +229,21 @@ func New(cfg Config) (*System, error) {
 	if cfg.TwoGraphs {
 		s.g[1] = groups.Build(ov, s.bad, cfg.Params, hashes.H2)
 	}
+	s.indexGeneration()
 	s.refreshBlue()
 	return s, nil
+}
+
+// Close releases the system's worker pool. The system must not be used
+// afterwards. Goroutines are only ever started when the effective pool
+// size exceeds one (Config.Workers > 1, or Workers <= 0 with GOMAXPROCS
+// > 1) — Close is a no-op otherwise — and a finalizer reclaims forgotten
+// pools; still, long-lived processes that churn through many Systems
+// should close them promptly.
+func (s *System) Close() {
+	if s.pool != nil {
+		s.pool.Close()
+	}
 }
 
 func (s *System) buildOverlay(r *ring.Ring) (overlay.Graph, error) {
@@ -168,17 +255,40 @@ func (s *System) buildOverlay(r *ring.Ring) (overlay.Graph, error) {
 	return nil, fmt.Errorf("epoch: unknown overlay %q", s.cfg.Overlay)
 }
 
+// indexGeneration recomputes the rank-indexed views of the serving
+// generation — goodList and badRank — at generation swap, so per-epoch
+// phases read precomputed slices instead of rescanning the ring.
+func (s *System) indexGeneration() {
+	pts := s.ids.Points()
+	if cap(s.badRank) < len(pts) {
+		s.badRank = make([]bool, len(pts))
+	}
+	s.badRank = s.badRank[:len(pts)]
+	s.goodList = s.goodList[:0]
+	s.goodRank = s.goodRank[:0]
+	for i, p := range pts {
+		b := s.bad[p]
+		s.badRank[i] = b
+		if !b {
+			s.goodList = append(s.goodList, p)
+			s.goodRank = append(s.goodRank, int32(i))
+		}
+	}
+}
+
 // refreshBlue recomputes the bootstrap-candidate list: leaders blue in
 // every live old graph.
 func (s *System) refreshBlue() {
 	s.blue = s.blue[:0]
-	for _, w := range s.ids.Points() {
-		ok := !s.g[0].Group(w).Red()
+	s.blueRank = s.blueRank[:0]
+	for i, w := range s.ids.Points() {
+		ok := !s.g[0].GroupAt(i).Red()
 		if ok && s.g[1] != nil {
-			ok = !s.g[1].Group(w).Red()
+			ok = !s.g[1].GroupAt(i).Red()
 		}
 		if ok {
 			s.blue = append(s.blue, w)
+			s.blueRank = append(s.blueRank, int32(i))
 		}
 	}
 }
@@ -193,61 +303,181 @@ func (s *System) Graphs() [2]*groups.Graph { return s.g }
 // Ring returns the current generation's ID set.
 func (s *System) Ring() *ring.Ring { return s.ids }
 
-// searchOutcome runs the §III-A dual search for point p from bootstrap
-// leader boot and reports whether each old-graph search succeeded, plus
-// message cost.
-func (s *System) searchOutcome(boot, p ring.Point, st *Stats) (ok1, ok2 bool) {
-	r1 := s.g[0].Search(boot, p)
-	st.SearchMessages += r1.Messages
-	st.Searches++
-	ok1 = r1.OK
+// tallyDual folds one dual-search outcome pair into the worker's tallies
+// and reports whether the step was corrupted (all searches failed).
+// lastRank is the old-ring rank of suc(p) when the route surfaced it for
+// free, else -1. In single-graph mode only the first outcome counts.
+func (s *System) tallyDual(o1, o2 groups.Outcome, wk *workerScratch) (corrupted bool, lastRank int) {
 	if s.g[1] == nil {
-		return ok1, ok1
+		wk.t.messages += o1.Messages
+		wk.t.searches++
+		if !o1.OK {
+			wk.t.singles++
+			wk.t.duals++
+			return true, o1.LastRank
+		}
+		return false, o1.LastRank
 	}
-	r2 := s.g[1].Search(boot, p)
-	st.SearchMessages += r2.Messages
-	st.Searches++
-	return ok1, r2.OK
+	wk.t.messages += o1.Messages + o2.Messages
+	wk.t.searches += 2
+	lastRank = o1.LastRank
+	if lastRank < 0 {
+		lastRank = o2.LastRank
+	}
+	if !o1.OK {
+		wk.t.singles++
+		if !o2.OK {
+			wk.t.duals++
+			return true, lastRank
+		}
+	}
+	return false, lastRank
 }
 
-// dualFails updates the q_f tallies and reports whether the step was
-// corrupted (all searches failed).
-func (s *System) dualFails(boot, p ring.Point, st *Stats, singles, duals *int) bool {
-	ok1, ok2 := s.searchOutcome(boot, p, st)
-	if !ok1 {
-		*singles++
+// dualSearchFrom runs the §III-A dual search for point p from the ring ID
+// of rank srcRank — one overlay-route walk classified against both old
+// graphs — updating the worker's tallies.
+func (s *System) dualSearchFrom(srcRank int, p ring.Point, wk *workerScratch) (corrupted bool, lastRank int) {
+	o1, o2 := s.g[0].SearchOutcomeDualFrom(s.g[1], srcRank, p, &wk.sc)
+	return s.tallyDual(o1, o2, wk)
+}
+
+// dualSearchTo is dualSearchFrom with the target's rank already known
+// (targetRank = rank of suc(p), or -1 to resolve it from p).
+func (s *System) dualSearchTo(srcRank, targetRank int, p ring.Point, wk *workerScratch) (corrupted bool, lastRank int) {
+	o1, o2 := s.g[0].SearchOutcomeDualTo(s.g[1], srcRank, targetRank, p, &wk.sc)
+	return s.tallyDual(o1, o2, wk)
+}
+
+// dualFailsSelf is dualFails for the degenerate verification search a
+// member-point target u runs for a point p it owns: the overlay route from
+// u to suc(p) = u is the single group G_u, so the dual search reduces to
+// red checks on G_u — no route walk, no messages. ui is u's old-ring rank.
+// Outcome and tallies are exactly those of dualFails(u, p, wk).
+func (s *System) dualFailsSelf(ui int, wk *workerScratch) bool {
+	red1 := s.g[0].GroupAt(ui).Red()
+	if s.g[1] == nil {
+		wk.t.searches++
+		if red1 {
+			wk.t.singles++
+			wk.t.duals++
+			return true
+		}
+		return false
 	}
-	if !ok1 && !ok2 {
-		*duals++
-		return true
+	wk.t.searches += 2
+	if red1 {
+		wk.t.singles++
+		if s.g[1].GroupAt(ui).Red() {
+			wk.t.duals++
+			return true
+		}
 	}
 	return false
 }
 
-// randomBoot returns a bootstrap leader: a u.a.r. blue group (the paper's
-// assumption that joiners know a good bootstrapping group; Appendix IX).
-func (s *System) randomBoot() ring.Point {
-	if len(s.blue) == 0 {
+// bootRankFrom returns the ring rank of a bootstrap leader drawn from rng:
+// a u.a.r. blue group (the paper's assumption that joiners know a good
+// bootstrapping group; Appendix IX).
+func (s *System) bootRankFrom(rng *engine.Stream) int {
+	if len(s.blueRank) == 0 {
 		// Degenerate: no blue groups — fall back to any leader.
-		return s.ids.At(s.rng.Intn(s.ids.Len()))
+		return rng.Intn(s.ids.Len())
 	}
-	return s.blue[s.rng.Intn(len(s.blue))]
+	return int(s.blueRank[rng.Intn(len(s.blueRank))])
 }
 
-// randomBadOldID returns a u.a.r. bad ID from the old generation (the
+// badOldID returns a rng-drawn u.a.r. bad ID from the old generation (the
 // adversary's worst-case substitute when it fully controls a lookup).
-func (s *System) randomBadOldID() (ring.Point, bool) {
+func (s *System) badOldID(rng *engine.Stream) (ring.Point, bool) {
 	if len(s.badList) == 0 {
 		return 0, false
 	}
-	return s.badList[s.rng.Intn(len(s.badList))], true
+	return s.badList[rng.Intn(len(s.badList))], true
+}
+
+// hashFns pairs the two member-location oracles with the graph index.
+var hashFns = [2]hashes.Func{hashes.H1, hashes.H2}
+
+// buildID performs the whole §III-A construction for the new ID of rank wi
+// — member-point location, request verification and neighbor establishment
+// in every new graph — reading only immutable old-generation state and
+// writing only rank-wi slots, so any worker may run any ID. Its randomness
+// comes exclusively from the per-ID stream.
+func (s *System) buildID(wk *workerScratch, wi int, w ring.Point, epochSeed int64,
+	newBad map[ring.Point]bool, newOv overlay.Graph, size, nGraphs int) {
+
+	rng := engine.NewStream(engine.TrialSeed(epochSeed, "id", wi))
+	boot := s.bootRankFrom(&rng)
+	n := len(s.members[0])
+	if cap(wk.ptBuf) < size {
+		wk.ptBuf = make([]ring.Point, size)
+	}
+	for l := 0; l < nGraphs; l++ {
+		// Group-membership requests (§III-A): all d₂·ln ln n member points
+		// of G_w are derived in one batch-hash pass and appended into the
+		// rank-wi slot of the shared member arena.
+		mlist := s.memberArena[(l*n+wi)*size : (l*n+wi)*size : (l*n+wi+1)*size]
+		for _, p := range hashFns[l].PointsAt(w, size, wk.ptBuf) {
+			fail, ui := s.dualSearchFrom(boot, p, wk)
+			if fail {
+				// Both location searches failed: the adversary answers.
+				if id, ok := s.badOldID(&rng); ok {
+					mlist = append(mlist, groups.Member{ID: id, Bad: true})
+					wk.t.forcedBad++
+				}
+				continue
+			}
+			if ui < 0 {
+				ui = s.ids.SuccessorIndex(p)
+			}
+			u, uBad := s.ids.At(ui), s.badRank[ui]
+			if !uBad && s.cfg.VerifyRequests {
+				// u verifies the request by its own dual search; if all of
+				// u's searches fail, it erroneously rejects. u owns p, so
+				// its search routes terminate immediately at G_u.
+				if s.dualFailsSelf(ui, wk) {
+					wk.t.errReject++
+					continue
+				}
+			}
+			mlist = append(mlist, groups.Member{ID: u, Bad: uBad})
+		}
+		s.members[l][wi] = mlist
+
+		// Neighbor requests (§III-A): locate every element of L_w and have
+		// it verify; a failure on either side leaves G_w confused (Lemma 8).
+		for _, u := range newOv.Neighbors(w) {
+			fail, sucRank := s.dualSearchFrom(boot, u, wk)
+			if fail {
+				s.confused[l][wi] = true
+				continue
+			}
+			if newBad[u] || !s.cfg.VerifyRequests {
+				continue
+			}
+			// u's verification searches run in the old graphs from u's own
+			// bootstrap position (u is a new ID; its searches go through
+			// its own bootstrap group while the new graphs are under
+			// construction). The location search above already resolved
+			// suc(u)'s rank, so the verification route reuses it.
+			if vfail, _ := s.dualSearchTo(s.bootRankFrom(&rng), sucRank, u, wk); vfail {
+				wk.t.errReject++
+				s.confused[l][wi] = true
+			}
+		}
+	}
 }
 
 // RunEpoch advances the system one epoch: the whole population turns over
 // (n departures matched by n PoW-minted joins), the new group graphs are
 // built through the old ones, and the generations swap.
+//
+// Construction fans out over the system's worker pool; see the package
+// comment for why results are independent of the worker count.
 func (s *System) RunEpoch() Stats {
 	st := Stats{Epoch: s.epoch + 1}
+	epochSeed := engine.TrialSeed(s.cfg.Seed, "epoch", st.Epoch)
 	// New generation of IDs: good participants re-mint; the adversary
 	// mints βn u.a.r. IDs and injects per its strategy (Lemma 11 bounds).
 	// Under SizeDrift the population swings by a constant factor (§III's
@@ -271,115 +501,86 @@ func (s *System) RunEpoch() Stats {
 		panic(err) // config was validated in New
 	}
 
-	size := s.cfg.Params.SizeFor(newRing.Len())
+	n := newRing.Len()
+	size := s.cfg.Params.SizeFor(n)
 	nGraphs := 1
 	if s.cfg.TwoGraphs {
 		nGraphs = 2
 	}
-	hashFns := [2]hashes.Func{hashes.H1, hashes.H2}
-	members := [2]map[ring.Point][]groups.Member{
-		make(map[ring.Point][]groups.Member, newRing.Len()),
-		make(map[ring.Point][]groups.Member, newRing.Len()),
-	}
-	confused := [2]map[ring.Point]bool{
-		make(map[ring.Point]bool),
-		make(map[ring.Point]bool),
-	}
-	singles, duals := 0, 0
-	ptBuf := make([]ring.Point, size) // reused batch buffer for member points
+	s.sizeArenas(n, size, nGraphs)
 
-	for _, w := range newRing.Points() {
-		boot := s.randomBoot()
-		for l := 0; l < nGraphs; l++ {
-			// Group-membership requests (§III-A): all d₂·ln ln n member
-			// points of G_w are derived in one batch-hash pass.
-			mlist := make([]groups.Member, 0, size)
-			for _, p := range hashFns[l].PointsAt(w, size, ptBuf) {
-				if s.dualFails(boot, p, &st, &singles, &duals) {
-					// Both location searches failed: the adversary answers.
-					if id, ok := s.randomBadOldID(); ok {
-						mlist = append(mlist, groups.Member{ID: id, Bad: true})
-						st.ForcedBadMembers++
-					}
-					continue
-				}
-				u := s.ids.Successor(p)
-				if !s.bad[u] && s.cfg.VerifyRequests {
-					// u verifies the request by its own dual search; if all
-					// of u's searches fail, it erroneously rejects.
-					if s.dualFails(u, p, &st, &singles, &duals) {
-						st.ErroneousRejects++
-						continue
-					}
-				}
-				mlist = append(mlist, groups.Member{ID: u, Bad: s.bad[u]})
-			}
-			members[l][w] = mlist
+	// Phase 1 — per-ID construction, fanned across the pool. Each task
+	// reads only immutable old-generation state (ring, graphs, blue list,
+	// bad lists — all frozen until the swap below) and writes only its own
+	// rank's arena slots plus its worker's tally.
+	newPts := newRing.Points()
+	s.pool.ForEach(n, func(worker, wi int) {
+		s.buildID(&s.scratch[worker], wi, newPts[wi], epochSeed, newBad, newOv, size, nGraphs)
+	})
 
-			// Neighbor requests (§III-A): locate every element of L_w and
-			// have it verify; a failure on either side leaves G_w confused
-			// (Lemma 8).
-			for _, u := range newOv.Neighbors(w) {
-				if s.dualFails(boot, u, &st, &singles, &duals) {
-					confused[l][w] = true
-					continue
-				}
-				if newBad[u] || !s.cfg.VerifyRequests {
-					continue
-				}
-				// u's verification searches run in the old graphs from u's
-				// bootstrap position (u is a new ID; its searches go
-				// through its own bootstrap group while the new graphs are
-				// under construction).
-				if s.dualFails(s.randomBoot(), u, &st, &singles, &duals) {
-					st.ErroneousRejects++
-					confused[l][w] = true
-				}
-			}
-		}
-	}
-
-	// Spam attack (Lemma 10 / E12): each bad new ID issues bogus
+	// Phase 2 — spam attack (Lemma 10 / E12): each bad new ID issues bogus
 	// membership requests to random good old IDs; the target's dual
-	// verification search catches them unless both searches fail.
-	if s.cfg.SpamFactor > 0 {
-		goodOld := make([]ring.Point, 0, s.ids.Len())
-		for _, id := range s.ids.Points() {
-			if !s.bad[id] {
-				goodOld = append(goodOld, id)
-			}
-		}
-		for range pl.Bad {
+	// verification search catches them unless both searches fail. One
+	// substream per spamming ID keeps the phase schedule-independent.
+	if s.cfg.SpamFactor > 0 && len(s.goodList) > 0 {
+		s.pool.ForEach(len(pl.Bad), func(worker, bi int) {
+			wk := &s.scratch[worker]
+			rng := engine.NewStream(engine.TrialSeed(epochSeed, "spam", bi))
 			for k := 0; k < s.cfg.SpamFactor; k++ {
-				u := goodOld[s.rng.Intn(len(goodOld))]
+				ui := int(s.goodRank[rng.Intn(len(s.goodRank))])
 				if !s.cfg.VerifyRequests {
-					st.SpamAccepted++
+					wk.t.spamAcc++
 					continue
 				}
 				// A bogus request never hashes to u, so u accepts only if
 				// both of its verification searches fail.
-				p := ring.Point(s.rng.Uint64())
-				if s.dualFails(u, p, &st, &singles, &duals) {
-					st.SpamAccepted++
+				p := ring.Point(rng.Uint64())
+				if fail, _ := s.dualSearchFrom(ui, p, wk); fail {
+					wk.t.spamAcc++
 				}
 			}
-		}
+		})
 	}
+
+	// Merge per-worker tallies (integer sums: order-free).
+	var tot tally
+	for i := range s.scratch {
+		tot.add(&s.scratch[i].t)
+		s.scratch[i].t = tally{}
+	}
+	st.ForcedBadMembers = tot.forcedBad
+	st.ErroneousRejects = tot.errReject
+	st.SpamAccepted = tot.spamAcc
+	st.SearchMessages = tot.messages
+	st.Searches = tot.searches
 
 	// Assemble the new graphs and classify.
 	var newG [2]*groups.Graph
-	newG[0] = groups.BuildExplicit(newOv, newBad, s.cfg.Params, members[0], confused[0])
+	newG[0] = groups.BuildExplicitRanked(newOv, newBad, s.cfg.Params, s.members[0], s.confused[0])
 	if s.cfg.TwoGraphs {
-		newG[1] = groups.BuildExplicit(newOv, newBad, s.cfg.Params, members[1], confused[1])
+		newG[1] = groups.BuildExplicitRanked(newOv, newBad, s.cfg.Params, s.members[1], s.confused[1])
 	}
 
-	// Mid-epoch departures (§III churn model): a fraction of the serving
-	// generation's good IDs goes offline, eroding the groups they serve in.
+	// Phase 3 — mid-epoch departures (§III churn model): a fraction of the
+	// serving generation's good IDs goes offline, eroding the groups they
+	// serve in. One hash-derived Bernoulli draw per serving ID, flagged in
+	// parallel by rank, keeps the draw independent of both loop order and
+	// worker count.
 	if s.cfg.MidEpochDepartures > 0 {
+		oldPts := s.ids.Points()
+		if cap(s.departFlag) < len(oldPts) {
+			s.departFlag = make([]bool, len(oldPts))
+		}
+		s.departFlag = s.departFlag[:len(oldPts)]
+		frac := s.cfg.MidEpochDepartures
+		s.pool.ForEach(len(oldPts), func(_, i int) {
+			rng := engine.NewStream(engine.TrialSeed(epochSeed, "depart", i))
+			s.departFlag[i] = !s.badRank[i] && rng.Float64() < frac
+		})
 		departed := map[ring.Point]bool{}
-		for _, id := range s.ids.Points() {
-			if !s.bad[id] && s.rng.Float64() < s.cfg.MidEpochDepartures {
-				departed[id] = true
+		for i, d := range s.departFlag {
+			if d {
+				departed[oldPts[i]] = true
 			}
 		}
 		for l := 0; l < nGraphs; l++ {
@@ -395,26 +596,21 @@ func (s *System) RunEpoch() Stats {
 	}
 
 	if st.Searches > 0 {
-		st.QfSingle = float64(singles) / float64(st.Searches)
+		st.QfSingle = float64(tot.singles) / float64(st.Searches)
 		denom := st.Searches
 		if s.cfg.TwoGraphs {
 			denom = st.Searches / 2
 		}
-		st.QfDual = float64(duals) / float64(denom)
+		st.QfDual = float64(tot.duals) / float64(denom)
 	}
 
 	// Lemma 10: membership state of the serving (old) generation.
 	totalMemberships := 0
-	goodServing := 0
-	for _, id := range s.ids.Points() {
-		if s.bad[id] {
-			continue
-		}
-		goodServing++
+	for _, id := range s.goodList {
 		totalMemberships += len(newG[0].MemberOf(id))
 	}
-	if goodServing > 0 {
-		st.MeanMemberships = float64(totalMemberships) / float64(goodServing)
+	if len(s.goodList) > 0 {
+		st.MeanMemberships = float64(totalMemberships) / float64(len(s.goodList))
 	}
 
 	// Post-construction robustness of the new generation.
@@ -430,7 +626,33 @@ func (s *System) RunEpoch() Stats {
 	s.bad = newBad
 	s.badList = pl.Bad
 	s.g = newG
+	s.indexGeneration()
 	s.refreshBlue()
 	s.epoch++
 	return st
+}
+
+// sizeArenas (re)shapes the rank-indexed construction arenas for a
+// generation of n groups of `size` solicited members each. The outer index
+// slices (members, confused, departFlag) carry only headers/flags and are
+// reused across epochs; memberArena is NOT — the graphs built from it
+// retain views into it for their whole generation, so each epoch gets a
+// fresh slab (one allocation, amortized O(1) per member) and the old slab
+// stays alive exactly as long as the graphs that reference it.
+func (s *System) sizeArenas(n, size, nGraphs int) {
+	s.memberArena = make([]groups.Member, nGraphs*n*size)
+	for l := 0; l < nGraphs; l++ {
+		if cap(s.members[l]) < n {
+			s.members[l] = make([][]groups.Member, n)
+		}
+		s.members[l] = s.members[l][:n]
+		if cap(s.confused[l]) < n {
+			s.confused[l] = make([]bool, n)
+		}
+		s.confused[l] = s.confused[l][:n]
+		for i := range s.members[l] {
+			s.members[l][i] = nil
+			s.confused[l][i] = false
+		}
+	}
 }

@@ -28,6 +28,7 @@ func E4Dynamic(o Options) Result {
 		if err != nil {
 			panic(err)
 		}
+		defer s.Close()
 		var out [][]string
 		for e := 0; e < epochs; e++ {
 			st := s.RunEpoch()
@@ -72,6 +73,7 @@ func E5Ablation(o Options) Result {
 		if err != nil {
 			panic(err)
 		}
+		defer s.Close()
 		label := "2"
 		if !twoGraphs {
 			label = "1"
@@ -135,13 +137,14 @@ func E10Cuckoo(o Options) Result {
 		}
 		// Our construction at the same scale: per-epoch full turnover is n
 		// join/leave events; run 3 epochs (= 3n events) and report failure.
-		ecfg := epoch.DefaultConfig(minInt(n, 2048)) // epoch sim cost cap
+		ecfg := epoch.DefaultConfig(min(n, 2048)) // epoch sim cost cap
 		ecfg.Params.Beta = 0.05
 		ecfg.Seed = rng.Int63()
 		s, err := epoch.New(ecfg)
 		if err != nil {
 			panic(err)
 		}
+		defer s.Close()
 		var worst float64
 		epochs := 3
 		for e := 0; e < epochs; e++ {
@@ -185,6 +188,7 @@ func E12State(o Options) Result {
 		if err != nil {
 			panic(err)
 		}
+		defer s.Close()
 		st := s.RunEpoch()
 		nBad := int(cfg.Params.Beta * float64(n))
 		return []string{boolStr(verify), itoa(cfg.SpamFactor), itoa(nBad * cfg.SpamFactor),
@@ -201,18 +205,4 @@ func E12State(o Options) Result {
 			"O(log log n); without it every bogus request lands.",
 		},
 	}
-}
-
-func boolStr(b bool) string {
-	if b {
-		return "true"
-	}
-	return "false"
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -7,6 +7,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 
 	"repro/internal/engine"
 	"repro/internal/metrics"
@@ -125,4 +126,5 @@ func f3(x float64) string   { return fmt.Sprintf("%.3f", x) }
 func f4(x float64) string   { return fmt.Sprintf("%.4f", x) }
 func f1(x float64) string   { return fmt.Sprintf("%.1f", x) }
 func itoa(x int) string     { return fmt.Sprintf("%d", x) }
+func boolStr(b bool) string { return strconv.FormatBool(b) }
 func i64toa(x int64) string { return fmt.Sprintf("%d", x) }

@@ -110,6 +110,7 @@ func E15Departures(o Options) Result {
 		if err != nil {
 			panic(err)
 		}
+		defer s.Close()
 		st := s.RunEpoch()
 		return []string{f3(frac), f3(cfg.Params.GoodDepartureBound()), itoa(st.DepartedMembers),
 			itoa(st.MajoritiesLost), f4(st.RedFraction[0]), f4(st.SearchFailRate)}
@@ -150,6 +151,7 @@ func E16Bootstrap(o Options) Result {
 		if err != nil {
 			panic(err)
 		}
+		defer s.Close()
 		g := s.Graphs()[0]
 		var out [][]string
 		for _, count := range []int{1, epoch.BootGroupCount(n), 2 * epoch.BootGroupCount(n)} {
@@ -336,6 +338,7 @@ func E20SizeDrift(o Options) Result {
 		if err != nil {
 			panic(err)
 		}
+		defer s.Close()
 		var out [][]string
 		for e := 0; e < epochs; e++ {
 			st := s.RunEpoch()

@@ -5,17 +5,20 @@ import (
 	"repro/internal/ring"
 )
 
-// BuildExplicit constructs a group graph from externally assembled
+// BuildExplicitRanked constructs a group graph from externally assembled
 // memberships — the dynamic case (§III), where the members of each new
 // group were located by (possibly failing) searches in the old group
 // graphs rather than read off the ground-truth ring.
 //
-// members maps each leader (every ID of ov's ring must appear) to its
-// member list; confused marks groups whose neighbor establishment failed
-// (Lemma 8). Missing or short member lists yield bad groups via the size
-// criterion (definition (i)).
-func BuildExplicit(ov overlay.Graph, badIDs map[ring.Point]bool, params Params,
-	members map[ring.Point][]Member, confused map[ring.Point]bool) *Graph {
+// members and confused are indexed by ring rank: members[i] is the member
+// list of the group led by the i-th point of ov's ring and confused[i]
+// marks its neighbor establishment as failed (Lemma 8). This is the form
+// the epoch pipeline produces directly from its rank-indexed arenas; the
+// map-keyed BuildExplicit is a thin adapter over it. Short member lists
+// yield bad groups via the size criterion (definition (i)). The member
+// slices are retained by the graph, not copied; confused may be nil.
+func BuildExplicitRanked(ov overlay.Graph, badIDs map[ring.Point]bool, params Params,
+	members [][]Member, confused []bool) *Graph {
 
 	r := ov.Ring()
 	n := r.Len()
@@ -32,8 +35,12 @@ func BuildExplicit(ov overlay.Graph, badIDs map[ring.Point]bool, params Params,
 	for wi, w := range r.Points() {
 		grp := &groupArena[wi]
 		grp.Leader = w
-		grp.Members = members[w]
-		grp.Confused = confused[w]
+		if wi < len(members) {
+			grp.Members = members[wi]
+		}
+		if wi < len(confused) {
+			grp.Confused = confused[wi]
+		}
 		g.classify(grp)
 		g.byRank[wi] = grp
 		for _, m := range grp.Members {
@@ -41,6 +48,28 @@ func BuildExplicit(ov overlay.Graph, badIDs map[ring.Point]bool, params Params,
 		}
 	}
 	return g
+}
+
+// BuildExplicit is BuildExplicitRanked for map-keyed memberships: members
+// maps each leader (every ID of ov's ring must appear) to its member list;
+// confused marks groups whose neighbor establishment failed.
+func BuildExplicit(ov overlay.Graph, badIDs map[ring.Point]bool, params Params,
+	members map[ring.Point][]Member, confused map[ring.Point]bool) *Graph {
+
+	r := ov.Ring()
+	n := r.Len()
+	ranked := make([][]Member, n)
+	var conf []bool
+	for wi, w := range r.Points() {
+		ranked[wi] = members[w]
+		if confused[w] {
+			if conf == nil {
+				conf = make([]bool, n)
+			}
+			conf[wi] = true
+		}
+	}
+	return BuildExplicitRanked(ov, badIDs, params, ranked, conf)
 }
 
 // BlueLeaders returns the leaders of all blue (non-red) groups, the

@@ -135,10 +135,14 @@ type Graph struct {
 	// Lemma 10).
 	memberOf map[ring.Point][]ring.Point
 	size     int // target group size used at build time
+	// rr is the overlay's rank-route extension, if it has one — the search
+	// fast path classifies rank routes without any per-hop rank lookup.
+	rr overlay.RankRouter
 }
 
 // buildRankIndex precomputes the radix bucket index over the leader points.
 func (g *Graph) buildRankIndex() {
+	g.rr, _ = g.ov.(overlay.RankRouter)
 	pts := g.ov.Ring().Points()
 	g.pts = pts
 	n := len(pts)

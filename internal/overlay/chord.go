@@ -8,14 +8,23 @@ import (
 // paper's running example for property P3 (footnote 11): the neighbors of w
 // are its ring successor and predecessor plus the successors of the points
 // w + Δ(i) for exponentially increasing distances Δ(i) = 1/2^i.
+//
+// Neighbor tables for every ID are precomputed at construction into
+// rank-indexed arenas (the ring is immutable once a Chord is built — epoch
+// churn builds a fresh graph), so all queries after NewChord are pure reads:
+// safe for concurrent searchers and allocation-free. The parallel neighbor
+// rank table lets RouteInto walk greedy hops without a single ring search.
 type Chord struct {
-	r *ring.Ring
-	m int // number of finger levels, ceil(log2 N) + fingerSlack
-	// memo caches finger tables: the ring is treated as immutable once a
-	// Chord is built (epoch churn builds a fresh graph), and the dynamic
-	// construction re-resolves the same nodes' neighbor sets constantly.
-	// Not safe for concurrent use.
-	memo map[ring.Point][]ring.Point
+	r       *ring.Ring
+	m       int // number of finger levels, ceil(log2 N) + fingerSlack
+	maxHops int // cached MaxHops (log2Ceil does float math)
+	// nbr[i] is the neighbor set of the i-th ring point, sorted by
+	// descending clockwise progress from the point — so greedy routing
+	// takes the first entry not overshooting the target instead of
+	// scanning the whole set. nbrRank[i][k] is the ring rank of nbr[i][k].
+	// Both are views into shared arenas.
+	nbr     [][]ring.Point
+	nbrRank [][]int32
 }
 
 // fingerSlack adds levels beyond log2 N so the densest finger reaches the
@@ -25,7 +34,55 @@ const fingerSlack = 2
 // NewChord builds a Chord graph over the IDs on r. The ring must not be
 // mutated afterwards (build a new graph instead).
 func NewChord(r *ring.Ring) *Chord {
-	return &Chord{r: r, m: log2Ceil(r.Len()) + fingerSlack, memo: make(map[ring.Point][]ring.Point)}
+	c := &Chord{r: r, m: log2Ceil(r.Len()) + fingerSlack}
+	c.maxHops = 4*log2Ceil(r.Len()) + 16
+	n := r.Len()
+	c.nbr = make([][]ring.Point, n)
+	c.nbrRank = make([][]int32, n)
+	if n == 0 {
+		return c
+	}
+	pts := r.Points()
+	// Worst case degree is m+2; ranks are appended in lock-step with points
+	// so both arenas stay aligned.
+	ptArena := make([]ring.Point, 0, n*(c.m+2))
+	rkArena := make([]int32, 0, n*(c.m+2))
+	for wi, w := range pts {
+		start := len(ptArena)
+		add := func(p ring.Point, rank int) {
+			for _, q := range ptArena[start:] {
+				if q == p {
+					return
+				}
+			}
+			ptArena = append(ptArena, p)
+			rkArena = append(rkArena, int32(rank))
+		}
+		add(pts[(wi+1)%n], (wi+1)%n) // strict successor
+		add(pts[(wi+n-1)%n], (wi+n-1)%n)
+		for i := 1; i <= c.m; i++ {
+			delta := ring.Point(1) << (64 - uint(i)) // 1/2^i of the ring
+			fi := r.SuccessorIndex(w + delta)
+			if pts[fi] != w {
+				add(pts[fi], fi)
+			}
+		}
+		set, rks := ptArena[start:], rkArena[start:]
+		// Sort by descending clockwise progress from w (insertion sort: the
+		// set is m+2 small). Progress values are distinct, so the greedy
+		// route picks the same neighbor the full max-scan would.
+		for i := 1; i < len(set); i++ {
+			p, rk := set[i], rks[i]
+			j := i
+			for ; j > 0 && w.Dist(set[j-1]) < w.Dist(p); j-- {
+				set[j], rks[j] = set[j-1], rks[j-1]
+			}
+			set[j], rks[j] = p, rk
+		}
+		c.nbr[wi] = ptArena[start:len(ptArena):len(ptArena)]
+		c.nbrRank[wi] = rkArena[start:len(rkArena):len(rkArena)]
+	}
+	return c
 }
 
 func (c *Chord) Name() string     { return "chord" }
@@ -33,56 +90,141 @@ func (c *Chord) Ring() *ring.Ring { return c.r }
 
 // MaxHops bounds routes at 4·log2 N + 16: greedy Chord routing halves the
 // remaining distance every hop w.h.p., so this is generous.
-func (c *Chord) MaxHops() int { return 4*log2Ceil(c.r.Len()) + 16 }
+func (c *Chord) MaxHops() int { return c.maxHops }
 
-// Neighbors returns S_w: ring successor, ring predecessor, and the finger
-// successors suc(w + 1/2^i) for i = 1..m.
-func (c *Chord) Neighbors(w ring.Point) []ring.Point {
-	if s, ok := c.memo[w]; ok {
-		return s
-	}
+// neighborsOf computes S_w from scratch — the fallback for points that are
+// not on the ring (the precomputed tables cover every ring ID).
+func (c *Chord) neighborsOf(w ring.Point) []ring.Point {
 	s := make([]ring.Point, 0, c.m+2)
 	s = appendUnique(s, c.r.StrictSuccessor(w))
 	s = appendUnique(s, c.r.Predecessor(w))
 	for i := 1; i <= c.m; i++ {
-		delta := ring.Point(1) << (64 - uint(i)) // 1/2^i of the ring
+		delta := ring.Point(1) << (64 - uint(i))
 		f := c.r.Successor(w + delta)
 		if f != w {
 			s = appendUnique(s, f)
 		}
 	}
-	c.memo[w] = s
 	return s
+}
+
+// Neighbors returns S_w: ring successor, ring predecessor, and the finger
+// successors suc(w + 1/2^i) for i = 1..m. For ring IDs this is a
+// precomputed-table read, ordered by descending clockwise progress from w;
+// the caller must not modify the result.
+func (c *Chord) Neighbors(w ring.Point) []ring.Point {
+	if wi, ok := c.r.Index(w); ok {
+		return c.nbr[wi]
+	}
+	return c.neighborsOf(w)
 }
 
 // Route performs greedy Chord routing: at each step, hop to the neighbor
 // that makes the most clockwise progress toward the key's owner without
 // overshooting it.
 func (c *Chord) Route(src, key ring.Point) ([]ring.Point, bool) {
-	target := c.r.Successor(key)
-	path := []ring.Point{src}
-	cur := src
-	for hop := 0; hop < c.MaxHops(); hop++ {
-		if cur == target {
-			return path, true
+	return c.RouteInto(nil, src, key)
+}
+
+// RouteRanksInto is the RankRouter form of RouteInto: the same greedy walk
+// emitting ring ranks. The neighbor tables carry ranks natively, so no
+// conversion happens anywhere on the path.
+func (c *Chord) RouteRanksInto(dst []int32, src, key ring.Point) ([]int32, bool, bool) {
+	curi, onRing := c.r.Index(src)
+	if !onRing {
+		return dst, false, false
+	}
+	ranks, ok := c.RouteRanksBetween(dst, curi, c.r.SuccessorIndex(key))
+	return ranks, ok, true
+}
+
+// RouteRanksBetween is the greedy walk between two ring IDs given by rank:
+// no endpoint searches at all.
+func (c *Chord) RouteRanksBetween(dst []int32, srcRank, targetRank int) ([]int32, bool) {
+	pts := c.r.Points()
+	curi, ti := srcRank, targetRank
+	cur, target := pts[curi], pts[ti]
+	dst = append(dst[:0], int32(curi))
+	for hop := 0; hop < c.maxHops; hop++ {
+		if curi == ti {
+			return dst, true
 		}
 		goal := cur.Dist(target)
-		var best ring.Point
-		var bestProg ring.Point
-		for _, nb := range c.Neighbors(cur) {
+		nbrs, ranks := c.nbr[curi], c.nbrRank[curi]
+		best := -1
+		for k, nb := range nbrs {
 			prog := cur.Dist(nb)
-			if prog != 0 && prog <= goal && prog > bestProg {
-				best, bestProg = nb, prog
+			if prog != 0 && prog <= goal {
+				best = k
+				break
 			}
 		}
-		if bestProg == 0 {
+		if best < 0 {
+			return dst, false
+		}
+		cur = nbrs[best]
+		curi = int(ranks[best])
+		dst = append(dst, int32(curi))
+	}
+	return dst, curi == ti
+}
+
+// RouteInto is Route into a reusable buffer. Hops between ring IDs walk the
+// precomputed neighbor/rank tables, so a route costs one successor search
+// for the target plus one rank lookup for src — zero searches per hop and
+// zero allocations once dst has capacity.
+func (c *Chord) RouteInto(dst []ring.Point, src, key ring.Point) ([]ring.Point, bool) {
+	target := c.r.Successor(key)
+	dst = append(dst[:0], src)
+	cur := src
+	curi, onRing := c.r.Index(src)
+	if !onRing {
+		curi = -1
+	}
+	for hop := 0; hop < c.maxHops; hop++ {
+		if cur == target {
+			return dst, true
+		}
+		goal := cur.Dist(target)
+		var nbrs []ring.Point
+		var ranks []int32
+		best := -1
+		if curi >= 0 {
+			nbrs, ranks = c.nbr[curi], c.nbrRank[curi]
+			// The table is sorted by descending progress, so the first
+			// entry not overshooting the target is the greedy maximum.
+			for k, nb := range nbrs {
+				prog := cur.Dist(nb)
+				if prog != 0 && prog <= goal {
+					best = k
+					break
+				}
+			}
+		} else {
+			nbrs = c.neighborsOf(cur)
+			var bestProg ring.Point
+			for k, nb := range nbrs {
+				prog := cur.Dist(nb)
+				if prog != 0 && prog <= goal && prog > bestProg {
+					best, bestProg = k, prog
+				}
+			}
+		}
+		if best < 0 {
 			// No neighbor precedes the target: the strict successor is the
 			// target itself (it is always a neighbor), so this is
 			// unreachable on a consistent ring; fail defensively.
-			return path, false
+			return dst, false
 		}
-		cur = best
-		path = append(path, cur)
+		cur = nbrs[best]
+		if ranks != nil {
+			curi = int(ranks[best])
+		} else if i, ok := c.r.Index(cur); ok {
+			curi = i
+		} else {
+			curi = -1
+		}
+		dst = append(dst, cur)
 	}
-	return path, cur == target
+	return dst, cur == target
 }

@@ -14,9 +14,10 @@ import (
 // it owns. Expected degree is O(d); routes have length log_d N + O(1)
 // prepend steps plus an O(1)-expected ring walk.
 type DeBruijn struct {
-	r    *ring.Ring
-	base int
-	m    int // digits prepended per route: ceil(log_d N) + digitSlack
+	r       *ring.Ring
+	base    int
+	m       int // digits prepended per route: ceil(log_d N) + digitSlack
+	maxHops int // cached MaxHops (log2Ceil does float math)
 }
 
 // digitSlack extends the prepend walk so the final virtual point lands
@@ -34,7 +35,9 @@ func NewDeBruijn(r *ring.Ring, base int) *DeBruijn {
 	for v := 1; v < n && m < 64; m++ {
 		v *= base
 	}
-	return &DeBruijn{r: r, base: base, m: m + digitSlack}
+	d := &DeBruijn{r: r, base: base, m: m + digitSlack}
+	d.maxHops = d.m + 4*log2Ceil(n) + 16
+	return d
 }
 
 func (d *DeBruijn) Name() string     { return "debruijn" }
@@ -42,7 +45,7 @@ func (d *DeBruijn) Ring() *ring.Ring { return d.r }
 
 // MaxHops bounds a route by the prepend walk plus a generous ring-walk
 // tail (the tail is O(1) expected, O(log N) w.h.p.).
-func (d *DeBruijn) MaxHops() int { return d.m + 4*log2Ceil(d.r.Len()) + 16 }
+func (d *DeBruijn) MaxHops() int { return d.maxHops }
 
 // contraction maps z to (z+j)/d, the continuous de Bruijn edge that
 // prepends digit j.
@@ -83,17 +86,20 @@ func (d *DeBruijn) Neighbors(w ring.Point) []ring.Point {
 	return s
 }
 
-// digitsOf extracts the top m base-d digits of key, most significant first.
-func (d *DeBruijn) digitsOf(key ring.Point) []int {
-	digits := make([]int, d.m)
+// maxDigits bounds the prepend walk length m (the construction caps m at
+// 64 before adding digitSlack), sizing the stack buffer digitsInto fills.
+const maxDigits = 64 + digitSlack
+
+// digitsInto fills dst[:m] with the top m base-d digits of key, most
+// significant first.
+func (d *DeBruijn) digitsInto(key ring.Point, dst []int) {
 	z := key
 	for i := 0; i < d.m; i++ {
 		// Top digit of z in base d: floor(z·d / 2^64).
 		hi, lo := bits.Mul64(uint64(z), uint64(d.base))
-		digits[i] = int(hi)
+		dst[i] = int(hi)
 		z = ring.Point(lo)
 	}
-	return digits
 }
 
 // Route walks the continuous de Bruijn edges toward key: it prepends the
@@ -102,23 +108,32 @@ func (d *DeBruijn) digitsOf(key ring.Point) []int {
 // the distance-halving route of [39] for d = 2: each prepend step halves
 // the distance between the virtual point and the target prefix.
 func (d *DeBruijn) Route(src, key ring.Point) ([]ring.Point, bool) {
+	return d.RouteInto(nil, src, key)
+}
+
+// RouteInto is Route into a reusable buffer: the digit scratch lives on the
+// stack and the path goes into dst, so steady-state routes are
+// allocation-free.
+func (d *DeBruijn) RouteInto(dst []ring.Point, src, key ring.Point) ([]ring.Point, bool) {
 	target := d.r.Successor(key)
-	path := []ring.Point{src}
+	dst = append(dst[:0], src)
 	if src == target {
-		return path, true
+		return dst, true
 	}
-	digits := d.digitsOf(key)
+	var digitBuf [maxDigits]int
+	digits := digitBuf[:d.m]
+	d.digitsInto(key, digits)
 	z := src
 	cur := src
 	for i := d.m - 1; i >= 0; i-- {
 		z = contraction(z, digits[i], d.base)
 		owner := d.r.Successor(z)
 		if owner != cur {
-			path = append(path, owner)
+			dst = append(dst, owner)
 			cur = owner
 		}
 	}
 	// The virtual point is now within d^-m of key's prefix; close the gap
 	// along the ring.
-	return ringWalk(d.r, path, target, d.MaxHops()-len(path)+1)
+	return ringWalk(d.r, dst, target, d.MaxHops()-len(dst)+1)
 }

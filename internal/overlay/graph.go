@@ -28,21 +28,49 @@ import (
 )
 
 // Graph is an input graph H over a set of IDs.
+//
+// Graphs are immutable once built: all methods are safe for concurrent
+// readers, which is what lets the epoch pipeline fan searches over a shared
+// old graph across a worker pool without locks.
 type Graph interface {
 	// Name identifies the construction ("chord", "debruijn", "viceroy").
 	Name() string
 	// Ring returns the underlying ID set.
 	Ring() *ring.Ring
 	// Neighbors returns the neighbor set S_w of the ID w (property P3).
-	// w must be an ID on the ring.
+	// w must be an ID on the ring. The caller must not modify the result.
 	Neighbors(w ring.Point) []ring.Point
 	// Route returns the sequence of IDs traversed by a search initiated at
 	// src for key, starting with src and ending with suc(key) (property
 	// P1). ok is false if the route failed to terminate within the hop
 	// bound (should not happen for honest rings).
 	Route(src, key ring.Point) (path []ring.Point, ok bool)
+	// RouteInto is Route writing into dst's backing array (reset to dst[:0]
+	// before use, grown only if capacity is short) and returning the filled
+	// slice — the allocation-free form the path-free search fast path loops
+	// on with one reused buffer per worker. A nil dst is allowed.
+	RouteInto(dst []ring.Point, src, key ring.Point) (path []ring.Point, ok bool)
 	// MaxHops is the bound used by Route before declaring failure.
 	MaxHops() int
+}
+
+// RankRouter is an optional Graph extension for constructions that can
+// express a route as ring ranks instead of points. Rank routes let the
+// group-graph search classify hops by direct index instead of re-deriving
+// each hop's rank, which is the single hottest lookup of the dynamic
+// construction. Semantics mirror RouteInto exactly: ranks[i] is the ring
+// rank of the i-th routed ID.
+type RankRouter interface {
+	// RouteRanksInto routes src → suc(key) into dst's backing array.
+	// handled reports whether the rank form applies (false when src is not
+	// a ring ID — the caller must fall back to RouteInto); ok mirrors
+	// RouteInto's termination flag.
+	RouteRanksInto(dst []int32, src, key ring.Point) (ranks []int32, ok, handled bool)
+	// RouteRanksBetween routes between two ring IDs given directly by rank
+	// — the form callers with precomputed endpoints use (the epoch
+	// pipeline knows every bootstrap leader's and repeat target's rank),
+	// skipping both endpoint searches.
+	RouteRanksBetween(dst []int32, srcRank, targetRank int) (ranks []int32, ok bool)
 }
 
 // Builder constructs a graph over a ring. seed parameterizes any

@@ -158,26 +158,27 @@ func (v *Viceroy) Neighbors(w ring.Point) []ring.Point {
 // whenever the remaining clockwise distance to the key exceeds the current
 // level width, then closes the residual gap along the ring.
 func (v *Viceroy) Route(src, key ring.Point) ([]ring.Point, bool) {
+	return v.RouteInto(nil, src, key)
+}
+
+// RouteInto is Route into a reusable buffer; steady-state routes are
+// allocation-free once dst has capacity.
+func (v *Viceroy) RouteInto(dst []ring.Point, src, key ring.Point) ([]ring.Point, bool) {
 	target := v.r.Successor(key)
-	path := []ring.Point{src}
+	path := append(dst[:0], src)
 	if src == target {
 		return path, true
 	}
 	cur := src
 	budget := v.MaxHops()
-	step := func(next ring.Point) {
-		if next != cur {
-			cur = next
-			path = append(path, cur)
-		}
-	}
 	// Up phase.
 	for v.lvl[cur] > 1 && len(path) < budget {
 		next := v.up(cur)
 		if next == cur {
 			break
 		}
-		step(next)
+		cur = next
+		path = append(path, cur)
 	}
 	// Down phase: at level ℓ the down-right link jumps ~1/2^ℓ clockwise;
 	// take it iff the remaining distance warrants, mirroring butterfly
@@ -191,10 +192,13 @@ func (v *Viceroy) Route(src, key ring.Point) ([]ring.Point, bool) {
 		}
 		before := cur.Dist(key)
 		width := ring.Point(1) << (64 - uint(v.lvl[cur]))
+		next := dl
 		if before >= width {
-			step(dr)
-		} else {
-			step(dl)
+			next = dr
+		}
+		if next != cur {
+			cur = next
+			path = append(path, cur)
 		}
 		if cur == target {
 			return path, true

@@ -68,7 +68,7 @@ func SolveSharded(r []byte, p Params, seed int64, maxAttempts, workers int) (Sol
 			// Reusable per-worker buffers keep the per-attempt loop free of
 			// heap allocation; only the hash work remains.
 			sigma := make([]byte, p.StringLen)
-			xored := make([]byte, minLen(p.StringLen, len(r)))
+			xored := make([]byte, min(p.StringLen, len(r)))
 			for a := int64(w) + 1; a <= int64(maxAttempts); a += int64(workers) {
 				if a >= bestIdx.Load() {
 					return // a smaller index already solved; nothing here can win
@@ -95,13 +95,6 @@ func SolveSharded(r []byte, p Params, seed int64, maxAttempts, workers int) (Sol
 	sigma := ShardSigma(seed, a, p.StringLen)
 	y := hashes.G.Point(hashes.XOR(sigma, r))
 	return Solution{Sigma: sigma, Y: y, ID: hashes.F.OfPoint(y), Attempts: int(a)}, true
-}
-
-func minLen(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // Claim pairs a minted ID with the pre-image backing it, for verification.

@@ -21,8 +21,9 @@ package sim
 import (
 	"runtime"
 	"slices"
-	"sync"
 	"sync/atomic"
+
+	"repro/internal/engine"
 )
 
 // NodeID indexes a node in the network.
@@ -170,14 +171,6 @@ func (nw *Network) routeShard(s, shards int, delivered, dropped *int64) {
 	*dropped += drp
 }
 
-// phaseKind selects the work a pool phase performs.
-type phaseKind uint8
-
-const (
-	phaseStep phaseKind = iota
-	phaseRoute
-)
-
 // Run executes `rounds` synchronous rounds and returns the cumulative stats.
 func (nw *Network) Run(rounds int) Stats {
 	n := len(nw.nodes)
@@ -213,62 +206,48 @@ func (nw *Network) runSerial(rounds int) Stats {
 	return nw.stats
 }
 
-// runPool executes rounds on a worker pool started once for the whole Run.
+// runPool executes rounds on an engine.Pool started once for the whole
+// Run (the pool extraction of the runtime's original bespoke worker loop).
 // Each round broadcasts two phases: Step (nodes claimed off a shared
-// cursor) and Route (recipient shards claimed the same way). Phase
-// hand-offs over `start` and the WaitGroup order all cross-worker memory
-// accesses.
+// cursor) and Route (recipient shards claimed the same way). The pool's
+// phase hand-off and wait order all cross-worker memory accesses.
 func (nw *Network) runPool(rounds, workers int) Stats {
 	n := len(nw.nodes)
 	var (
-		wg        sync.WaitGroup
 		cursor    atomic.Int64
-		start     = make(chan phaseKind)
 		delivered = make([]int64, workers)
 		dropped   = make([]int64, workers)
 	)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			for ph := range start {
-				switch ph {
-				case phaseStep:
-					round := nw.curRound
-					for {
-						i := int(cursor.Add(1)) - 1
-						if i >= n {
-							break
-						}
-						nw.outboxes[i] = nw.nodes[i].Step(round, nw.inbox[i])
-					}
-				case phaseRoute:
-					for {
-						s := int(cursor.Add(1)) - 1
-						if s >= workers {
-							break
-						}
-						nw.routeShard(s, workers, &delivered[w], &dropped[w])
-					}
-				}
-				wg.Done()
+	pool := engine.NewPool(workers)
+	defer pool.Close()
+	stepPhase := func(w int) {
+		round := nw.curRound
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= n {
+				break
 			}
-		}(w)
-	}
-	runPhase := func(ph phaseKind) {
-		cursor.Store(0)
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			start <- ph
+			nw.outboxes[i] = nw.nodes[i].Step(round, nw.inbox[i])
 		}
-		wg.Wait()
+	}
+	routePhase := func(w int) {
+		for {
+			s := int(cursor.Add(1)) - 1
+			if s >= workers {
+				break
+			}
+			nw.routeShard(s, workers, &delivered[w], &dropped[w])
+		}
 	}
 	for r := 0; r < rounds; r++ {
 		nw.curRound = nw.stats.Rounds
-		runPhase(phaseStep)
-		runPhase(phaseRoute)
+		cursor.Store(0)
+		pool.Run(stepPhase)
+		cursor.Store(0)
+		pool.Run(routePhase)
 		nw.inbox, nw.next = nw.next, nw.inbox
 		nw.stats.Rounds++
 	}
-	close(start)
 	for w := 0; w < workers; w++ {
 		nw.stats.Delivered += delivered[w]
 		nw.stats.Dropped += dropped[w]
