@@ -13,7 +13,11 @@ HOTPATH_BENCH = BenchmarkRingSuccessor|BenchmarkHashPoint|BenchmarkHashOfPoint|B
 # init + 3-epoch sweep.
 EPOCH_BENCH = BenchmarkRunEpoch|BenchmarkRunEpochParallel|BenchmarkEpochSweep
 
-.PHONY: build test bench bench-json lint ci
+# The packages whose exported surface is pinned in API.txt and guarded in
+# CI (make apicheck). Everything under internal/ is explicitly unstable.
+API_PKGS = ./tinygroups ./tinygroups/scenario
+
+.PHONY: build test bench bench-json lint api apicheck smoke-examples ci
 
 build:
 	$(GO) build ./...
@@ -44,4 +48,27 @@ lint:
 		echo "files need gofmt:"; echo "$$out"; exit 1; \
 	fi
 
-ci: build lint test bench
+# api regenerates the checked-in export listing of the stable packages.
+# Run it (and review the diff) whenever the public surface changes.
+api:
+	@{ for p in $(API_PKGS); do echo "# $$p"; $(GO) doc -short "$$p"; echo; done; } > API.txt
+	@echo "wrote API.txt"
+
+# apicheck fails when the exported surface drifted from API.txt — the CI
+# guard that makes every public-API change an explicit, reviewed diff.
+apicheck:
+	@{ for p in $(API_PKGS); do echo "# $$p"; $(GO) doc -short "$$p"; echo; done; } > API.txt.tmp; \
+	if ! diff -u API.txt API.txt.tmp; then \
+		rm -f API.txt.tmp; \
+		echo "public API surface drifted — run 'make api' and commit the diff" >&2; exit 1; \
+	fi; \
+	rm -f API.txt.tmp
+
+# smoke-examples builds and runs every example binary against the public
+# API (output discarded; a non-zero exit fails the gate).
+smoke-examples:
+	@set -e; for d in examples/*/; do \
+		echo "== $$d"; $(GO) run "./$$d" > /dev/null; \
+	done
+
+ci: build lint apicheck test smoke-examples bench

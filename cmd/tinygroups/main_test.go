@@ -2,38 +2,46 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
-	"repro/internal/experiments"
-	"repro/internal/metrics"
+	"repro/tinygroups/scenario"
 )
 
-// stubApp returns an app with a two-experiment stub registry that records
+// stubApp returns an app with a two-scenario stub registry that records
 // the Options each run received.
-func stubApp(got *[]experiments.Options) *app {
-	mk := func(id, title string) experiments.Experiment {
-		return experiments.Experiment{
+func stubApp(t *testing.T, got *[]scenario.Options) *app {
+	t.Helper()
+	reg := scenario.NewRegistry()
+	mk := func(id, title string) scenario.Scenario {
+		return scenario.Scenario{
 			ID: id, Title: title,
-			Run: func(o experiments.Options) experiments.Result {
+			Stream: func(ctx context.Context, o scenario.Options, h scenario.Handler) error {
 				*got = append(*got, o)
-				tab := &metrics.Table{Header: []string{"k", "v"}}
-				tab.Append(id, "1")
-				return experiments.Result{ID: id, Title: title, Table: tab, Notes: []string{"stub"}}
+				h.Header("k", "v")
+				h.Row(id, "1")
+				h.Note("stub")
+				return nil
 			},
 		}
 	}
-	return &app{
-		stdout:   &bytes.Buffer{},
-		stderr:   &bytes.Buffer{},
-		registry: []experiments.Experiment{mk("x1", "first stub"), mk("x2", "second stub")},
+	for _, s := range []scenario.Scenario{mk("x1", "first stub"), mk("x2", "second stub")} {
+		if err := reg.Register(s); err != nil {
+			t.Fatal(err)
+		}
 	}
+	return &app{stdout: &bytes.Buffer{}, stderr: &bytes.Buffer{}, registry: reg}
+}
+
+func run(a *app, args ...string) int {
+	return a.run(context.Background(), args)
 }
 
 func TestListPrintsRegistry(t *testing.T) {
-	var got []experiments.Options
-	a := stubApp(&got)
-	if code := a.run([]string{"list"}); code != 0 {
+	var got []scenario.Options
+	a := stubApp(t, &got)
+	if code := run(a, "list"); code != 0 {
 		t.Fatalf("list exit code %d", code)
 	}
 	out := a.stdout.(*bytes.Buffer).String()
@@ -43,18 +51,18 @@ func TestListPrintsRegistry(t *testing.T) {
 		}
 	}
 	if len(got) != 0 {
-		t.Errorf("list ran %d experiments", len(got))
+		t.Errorf("list ran %d scenarios", len(got))
 	}
 }
 
-func TestAllRunsEveryExperiment(t *testing.T) {
-	var got []experiments.Options
-	a := stubApp(&got)
-	if code := a.run([]string{"all"}); code != 0 {
+func TestAllRunsEveryScenario(t *testing.T) {
+	var got []scenario.Options
+	a := stubApp(t, &got)
+	if code := run(a, "all"); code != 0 {
 		t.Fatalf("all exit code %d", code)
 	}
 	if len(got) != 2 {
-		t.Fatalf("all ran %d experiments, want 2", len(got))
+		t.Fatalf("all ran %d scenarios, want 2", len(got))
 	}
 	out := a.stdout.(*bytes.Buffer).String()
 	for _, want := range []string{"== x1", "== x2", "total wall-clock"} {
@@ -64,25 +72,25 @@ func TestAllRunsEveryExperiment(t *testing.T) {
 	}
 }
 
-func TestUnknownExperimentFails(t *testing.T) {
-	var got []experiments.Options
-	a := stubApp(&got)
-	if code := a.run([]string{"x1", "nope"}); code != 2 {
+func TestUnknownScenarioFails(t *testing.T) {
+	var got []scenario.Options
+	a := stubApp(t, &got)
+	if code := run(a, "x1", "nope"); code != 2 {
 		t.Fatalf("unknown id exit code %d, want 2", code)
 	}
 	errOut := a.stderr.(*bytes.Buffer).String()
-	if !strings.Contains(errOut, `unknown experiment "nope"`) {
-		t.Errorf("stderr missing unknown-experiment message: %s", errOut)
+	if !strings.Contains(errOut, `unknown scenario "nope"`) {
+		t.Errorf("stderr missing unknown-scenario message: %s", errOut)
 	}
 	if len(got) != 0 {
-		t.Errorf("ran %d experiments before rejecting the bad id", len(got))
+		t.Errorf("ran %d scenarios before rejecting the bad id", len(got))
 	}
 }
 
 func TestNoArgsPrintsUsage(t *testing.T) {
-	var got []experiments.Options
-	a := stubApp(&got)
-	if code := a.run(nil); code != 2 {
+	var got []scenario.Options
+	a := stubApp(t, &got)
+	if code := run(a); code != 2 {
 		t.Fatalf("no-args exit code %d, want 2", code)
 	}
 	if !strings.Contains(a.stderr.(*bytes.Buffer).String(), "usage:") {
@@ -91,58 +99,102 @@ func TestNoArgsPrintsUsage(t *testing.T) {
 }
 
 func TestBadFlagFails(t *testing.T) {
-	var got []experiments.Options
-	a := stubApp(&got)
-	if code := a.run([]string{"-bogus", "x1"}); code != 2 {
+	var got []scenario.Options
+	a := stubApp(t, &got)
+	if code := run(a, "-bogus", "x1"); code != 2 {
 		t.Fatalf("bad flag exit code %d, want 2", code)
 	}
 }
 
-func TestFlagsReachExperiments(t *testing.T) {
-	var got []experiments.Options
-	a := stubApp(&got)
-	if code := a.run([]string{"-quick", "-seed", "42", "-parallel", "3", "-trials", "5", "x2"}); code != 0 {
+func TestFlagsReachScenarios(t *testing.T) {
+	var got []scenario.Options
+	a := stubApp(t, &got)
+	if code := run(a, "-quick", "-seed", "42", "-parallel", "3", "-trials", "5", "x2"); code != 0 {
 		t.Fatalf("exit code %d", code)
 	}
 	if len(got) != 1 {
-		t.Fatalf("ran %d experiments, want 1", len(got))
+		t.Fatalf("ran %d scenarios, want 1", len(got))
 	}
-	want := experiments.Options{Quick: true, Seed: 42, Parallel: 3, Trials: 5}
+	want := scenario.Options{Quick: true, Seed: 42, Parallel: 3, Trials: 5}
 	if got[0] != want {
-		t.Errorf("experiment received %+v, want %+v", got[0], want)
+		t.Errorf("scenario received %+v, want %+v", got[0], want)
 	}
 }
 
-// TestRealRegistryQuickRun drives one cheap real experiment end to end
-// through the CLI layer.
-func TestRealRegistryQuickRun(t *testing.T) {
-	a := &app{stdout: &bytes.Buffer{}, stderr: &bytes.Buffer{}, registry: experiments.All()}
-	if code := a.run([]string{"-quick", "e13"}); code != 0 {
-		t.Fatalf("exit code %d, stderr: %s", code, a.stderr.(*bytes.Buffer).String())
+// TestStreamMode prints rows live: banner first, then header, rows and
+// notes.
+func TestStreamMode(t *testing.T) {
+	var got []scenario.Options
+	a := stubApp(t, &got)
+	if code := run(a, "-stream", "x1"); code != 0 {
+		t.Fatalf("exit code %d", code)
 	}
 	out := a.stdout.(*bytes.Buffer).String()
-	if !strings.Contains(out, "== e13: Byzantine agreement inside groups") {
-		t.Errorf("missing experiment banner:\n%s", out)
+	for _, want := range []string{"== x1: first stub", "k", "x1", "note: stub"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stream output missing %q:\n%s", want, out)
+		}
 	}
-	if !strings.Contains(out, "behavior") {
-		t.Errorf("missing table header:\n%s", out)
+}
+
+// TestCancelledContextExits: a cancelled context stops the run with the
+// interrupt exit code.
+func TestCancelledContextExits(t *testing.T) {
+	var got []scenario.Options
+	a := stubApp(t, &got)
+	reg := scenario.NewRegistry()
+	if err := reg.Register(scenario.Scenario{
+		ID: "slow", Title: "ctx-aware stub",
+		Stream: func(ctx context.Context, _ scenario.Options, _ scenario.Handler) error {
+			return ctx.Err()
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a.registry = reg
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if code := a.run(ctx, []string{"slow"}); code != 130 {
+		t.Fatalf("cancelled run exit code %d, want 130", code)
+	}
+	if !strings.Contains(a.stderr.(*bytes.Buffer).String(), "cancelled") {
+		t.Error("cancellation not reported")
+	}
+}
+
+// TestRealRegistryQuickRun drives one cheap real scenario end to end
+// through the CLI layer, in both output modes.
+func TestRealRegistryQuickRun(t *testing.T) {
+	for _, mode := range [][]string{{"-quick", "e13"}, {"-quick", "-stream", "e13"}} {
+		a := &app{stdout: &bytes.Buffer{}, stderr: &bytes.Buffer{}, registry: scenario.Default()}
+		if code := run(a, mode...); code != 0 {
+			t.Fatalf("%v: exit code %d, stderr: %s", mode, code, a.stderr.(*bytes.Buffer).String())
+		}
+		out := a.stdout.(*bytes.Buffer).String()
+		if !strings.Contains(out, "== e13: Byzantine agreement inside groups") {
+			t.Errorf("%v: missing scenario banner:\n%s", mode, out)
+		}
+		if !strings.Contains(out, "behavior") {
+			t.Errorf("%v: missing table header:\n%s", mode, out)
+		}
 	}
 }
 
 // TestRealRegistryListMatchesAll asserts the registry the CLI ships is the
 // full e1..e20 set.
 func TestRealRegistryListMatchesAll(t *testing.T) {
-	a := &app{stdout: &bytes.Buffer{}, stderr: &bytes.Buffer{}, registry: experiments.All()}
-	if code := a.run([]string{"list"}); code != 0 {
+	a := &app{stdout: &bytes.Buffer{}, stderr: &bytes.Buffer{}, registry: scenario.Default()}
+	if code := run(a, "list"); code != 0 {
 		t.Fatalf("list exit code %d", code)
 	}
 	out := a.stdout.(*bytes.Buffer).String()
-	if n := len(strings.Split(strings.TrimSpace(out), "\n")); n != len(experiments.All()) {
-		t.Errorf("list printed %d lines, registry has %d experiments", n, len(experiments.All()))
+	all := scenario.Default().List()
+	if n := len(strings.Split(strings.TrimSpace(out), "\n")); n != len(all) {
+		t.Errorf("list printed %d lines, registry has %d scenarios", n, len(all))
 	}
-	for _, e := range experiments.All() {
-		if !strings.Contains(out, e.ID) {
-			t.Errorf("list missing %s", e.ID)
+	for _, s := range all {
+		if !strings.Contains(out, s.ID) {
+			t.Errorf("list missing %s", s.ID)
 		}
 	}
 }

@@ -3,10 +3,13 @@
 // attack-resistant distributed systems built from groups of size
 // Θ(log log n) instead of the classic Θ(log n), secured by proof-of-work.
 //
-// The public surface is internal/core (the assembled ε-robust system);
-// the substrates live in internal/{ring,hashes,overlay,groups,adversary,
-// epoch,pow,sim,ba,baseline}; internal/experiments regenerates every
-// evaluation table (see DESIGN.md §6 and EXPERIMENTS.md) on the parallel
-// deterministic runner in internal/engine; bench_test.go in this directory
-// exposes one benchmark per experiment.
+// The public surface is the tinygroups package (the assembled ε-robust
+// system: functional options, context-aware operations, typed errors,
+// observer hooks, batch operations) and tinygroups/scenario (the
+// streaming runner over every evaluation table); their exported API is
+// pinned in API.txt and guarded in CI. The substrates live in
+// internal/{ring,hashes,overlay,groups,adversary,epoch,pow,sim,ba,
+// baseline}; internal/experiments implements the e1..e20 experiments on
+// the parallel deterministic runner in internal/engine; bench_test.go in
+// this directory exposes one benchmark per experiment.
 package repro

@@ -2,42 +2,66 @@
 // population turnover under the two-group-graph construction and watch the
 // error probability stay flat, then run the same system with a single
 // group graph and watch it drift (the ablation the paper's §III argues
-// from).
+// from). Per-epoch rows are printed by an Observer hook streaming the
+// construction statistics, the same channel a production deployment would
+// feed its metrics pipeline from.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/epoch"
+	"repro/tinygroups"
 )
+
+// statsPrinter streams each epoch's construction stats as a table row.
+type statsPrinter struct{}
+
+func (statsPrinter) ObserveSearch(tinygroups.SearchEvent) {}
+
+func (statsPrinter) ObserveEpoch(e tinygroups.EpochEvent) {
+	st := e.Stats
+	fmt.Printf("%-7d %-10.4f %-10.4f %-10.4f %-11.4f\n",
+		st.Epoch, st.QfSingle, st.QfDual, st.RedFraction[0], st.SearchFailRate)
+}
+
+func (statsPrinter) ObserveMint(e tinygroups.MintEvent) {
+	if e.Epoch == 1 {
+		fmt.Printf("        (each epoch re-mints %d IDs via PoW; the adversary gets %d)\n",
+			e.Minted, e.Bad)
+	}
+}
 
 func main() {
 	const n = 1024
 	const epochs = 10
+	ctx := context.Background()
 
 	for _, twoGraphs := range []bool{true, false} {
 		mode := "two group graphs (paper §III)"
+		opts := []tinygroups.Option{
+			tinygroups.WithBeta(0.05),
+			tinygroups.WithSeed(99),
+			tinygroups.WithObserver(statsPrinter{}),
+		}
 		if !twoGraphs {
 			mode = "single group graph (naive ablation)"
+			opts = append(opts, tinygroups.WithSingleGraph())
 		}
 		fmt.Printf("== %s, n = %d, β = 0.05\n", mode, n)
 		fmt.Printf("%-7s %-10s %-10s %-10s %-11s\n", "epoch", "qfSingle", "qfStep", "redFrac", "searchFail")
 
-		cfg := epoch.DefaultConfig(n)
-		cfg.Params.Beta = 0.05
-		cfg.TwoGraphs = twoGraphs
-		cfg.Seed = 99
-		sys, err := epoch.New(cfg)
+		sys, err := tinygroups.New(n, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer sys.Close()
 		for e := 0; e < epochs; e++ {
-			st := sys.RunEpoch()
-			fmt.Printf("%-7d %-10.4f %-10.4f %-10.4f %-11.4f\n",
-				st.Epoch, st.QfSingle, st.QfDual, st.RedFraction[0], st.SearchFailRate)
+			if _, err := sys.AdvanceEpoch(ctx); err != nil {
+				log.Fatal(err)
+			}
 		}
+		sys.Close()
 		fmt.Println()
 	}
 	fmt.Println("expected: the two-graph series is flat (corruption per step ≈ qf²); the")

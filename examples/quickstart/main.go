@@ -1,57 +1,74 @@
-// Quickstart: build an ε-robust system with tiny Θ(log log n) groups, store
-// and retrieve values through secure routing, and compare the group size
-// against the classic Θ(log n) requirement.
+// Quickstart: build an ε-robust system with tiny Θ(log log n) groups
+// through the public tinygroups API, store and retrieve values through
+// secure routing, and compare the group size against the classic Θ(log n)
+// requirement.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"math"
 
-	"repro/internal/core"
+	"repro/tinygroups"
 )
 
 func main() {
 	const n = 4096
-	cfg := core.DefaultConfig(n)
-	cfg.Beta = 0.05 // the adversary holds 5% of the computational power
+	const beta = 0.05 // the adversary holds 5% of the computational power
 
-	sys, err := core.New(cfg)
+	sys, err := tinygroups.New(n,
+		tinygroups.WithBeta(beta),
+		tinygroups.WithSeed(1),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sys.Close()
+	ctx := context.Background()
 
-	fmt.Printf("system: n = %d IDs, adversary β = %.2f\n", sys.N(), cfg.Beta)
+	fmt.Printf("system: n = %d IDs, adversary β = %.2f\n", sys.N(), beta)
 	fmt.Printf("tiny group size  |G| = %d  (Θ(log log n): ln ln n = %.2f)\n",
 		sys.GroupSize(), math.Log(math.Log(n)))
 	fmt.Printf("classic size     |G| ≈ %.0f  (Θ(log n): 2·ln n)\n\n", 2*math.Log(n))
 
-	// Store and retrieve through secure routing.
+	// Store and retrieve through secure routing. ErrUnreachable marks the
+	// ε-fraction of keys Theorem 3 concedes.
 	for _, kv := range [][2]string{
 		{"alice", "likes distributed systems"},
 		{"bob", "runs a relay"},
 		{"carol", "hoards CPU cycles"},
 	} {
-		info, err := sys.Put(kv[0], []byte(kv[1]))
-		if err != nil {
+		info, err := sys.Put(ctx, kv[0], []byte(kv[1]))
+		if errors.Is(err, tinygroups.ErrUnreachable) {
 			fmt.Printf("put %-6s → unreachable (part of the ε the paper concedes)\n", kv[0])
 			continue
+		}
+		if err != nil {
+			log.Fatal(err)
 		}
 		fmt.Printf("put %-6s → owner %v, %d group hops, %d messages\n",
 			kv[0], info.Owner, info.Hops, info.Messages)
 	}
-	if v, _, err := sys.Get("alice"); err == nil {
+	if v, _, err := sys.Get(ctx, "alice"); err == nil {
 		fmt.Printf("get alice  → %q\n\n", v)
 	}
 
 	// Measure Theorem 3's two bullets.
-	rob := sys.Robustness(2000)
+	rob, err := sys.Robustness(2000)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("red groups:      %.4f of all groups (Thm 3 bullet 1: O(1/polylog n))\n", rob.RedFraction)
 	fmt.Printf("failed searches: %.4f of 2000      (Thm 3 bullet 2)\n", rob.SearchFailRate)
 	fmt.Printf("mean search cost: %.0f messages over %.1f groups\n", rob.MeanMessages, rob.MeanRouteLen)
 
 	// One epoch of full churn via the two-group-graph construction.
-	st := sys.AdvanceEpoch()
+	st, err := sys.AdvanceEpoch(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nafter one epoch of full turnover (n joins, n departures):\n")
 	fmt.Printf("  dual-search failure q_f² = %.5f (single q_f = %.5f)\n", st.QfDual, st.QfSingle)
 	fmt.Printf("  new-graph red fraction   = %.4f\n", st.RedFraction[0])

@@ -1,51 +1,69 @@
 // Robuststore: the decentralized storage application of §I-A — store a
 // corpus of keys, subject the system to different adversary ID-placement
 // strategies, and measure what fraction of the corpus stays retrievable
-// (the ε-robustness guarantee: all but an o(1) fraction).
+// (the ε-robustness guarantee: all but an o(1) fraction). The corpus is
+// written and probed with the batch operations, which fan the routed
+// searches across the system's worker pool.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/adversary"
-	"repro/internal/core"
+	"repro/tinygroups"
 )
 
 func main() {
 	const n = 2048
 	const keys = 500
+	ctx := context.Background()
 
 	fmt.Printf("robust store: n = %d IDs, %d keys, varying adversary strategy\n\n", n, keys)
 	fmt.Printf("%-10s %-6s %-10s %-10s %-12s\n", "strategy", "beta", "stored", "retrieved", "unreachable")
 
-	for _, strat := range []adversary.Strategy{adversary.Uniform, adversary.Clustered, adversary.NearKey} {
+	corpus := make([]tinygroups.KV, keys)
+	lookups := make([]string, keys)
+	for i := range corpus {
+		k := fmt.Sprintf("doc-%04d", i)
+		corpus[i] = tinygroups.KV{Key: k, Value: []byte(k)}
+		lookups[i] = k
+	}
+
+	for _, strat := range []tinygroups.Strategy{tinygroups.Uniform, tinygroups.Clustered, tinygroups.NearKey} {
 		for _, beta := range []float64{0.05, 0.10} {
-			cfg := core.DefaultConfig(n)
-			cfg.Beta = beta
-			cfg.Strategy = strat
-			cfg.Seed = 42
-			sys, err := core.New(cfg)
+			sys, err := tinygroups.New(n,
+				tinygroups.WithBeta(beta),
+				tinygroups.WithStrategy(strat),
+				tinygroups.WithSeed(42),
+			)
+			if err != nil {
+				log.Fatal(err)
+			}
+			puts, err := sys.PutBatch(ctx, corpus)
 			if err != nil {
 				log.Fatal(err)
 			}
 			stored := 0
-			for i := 0; i < keys; i++ {
-				k := fmt.Sprintf("doc-%04d", i)
-				if _, err := sys.Put(k, []byte(k)); err == nil {
+			for _, r := range puts {
+				if r.Err == nil {
 					stored++
 				}
 			}
+			gets, err := sys.LookupBatch(ctx, lookups)
+			if err != nil {
+				log.Fatal(err)
+			}
 			retrieved, unreachable := 0, 0
-			for i := 0; i < keys; i++ {
-				k := fmt.Sprintf("doc-%04d", i)
-				if _, _, err := sys.Get(k); err == nil {
+			for _, r := range gets {
+				if r.Err == nil {
 					retrieved++
 				} else {
 					unreachable++
 				}
 			}
 			fmt.Printf("%-10s %-6.2f %-10d %-10d %-12d\n", strat, beta, stored, retrieved, unreachable)
+			sys.Close()
 		}
 	}
 	fmt.Println("\nexpected: retrieval misses stay an o(1) fraction for every placement strategy —")

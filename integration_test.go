@@ -1,47 +1,51 @@
 package repro
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
 
-	"repro/internal/adversary"
-	"repro/internal/core"
-	"repro/internal/epoch"
+	"repro/tinygroups"
 )
 
 // Integration tests exercise the full stack — ring → hashes → overlay →
-// groups → epoch/pow → core — through the public core API, across every
-// overlay construction and adversary strategy.
+// groups → epoch/pow → tinygroups — through the public API only, across
+// every overlay construction and adversary strategy.
 
 func TestIntegrationAllOverlays(t *testing.T) {
+	ctx := context.Background()
 	for _, ov := range []string{"chord", "debruijn", "viceroy"} {
 		ov := ov
 		t.Run(ov, func(t *testing.T) {
-			cfg := core.DefaultConfig(512)
-			cfg.Overlay = ov
-			cfg.Seed = 101
-			sys, err := core.New(cfg)
+			sys, err := tinygroups.New(512,
+				tinygroups.WithOverlay(ov),
+				tinygroups.WithSeed(101),
+			)
 			if err != nil {
 				t.Fatal(err)
 			}
+			defer sys.Close()
 			// Store, churn one epoch, retrieve.
 			stored := 0
 			for i := 0; i < 60; i++ {
-				if _, err := sys.Put(fmt.Sprintf("k%d", i), []byte{byte(i)}); err == nil {
+				if _, err := sys.Put(ctx, fmt.Sprintf("k%d", i), []byte{byte(i)}); err == nil {
 					stored++
 				}
 			}
 			if stored < 54 {
 				t.Fatalf("only %d/60 puts succeeded on %s", stored, ov)
 			}
-			st := sys.AdvanceEpoch()
+			st, err := sys.AdvanceEpoch(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if st.SearchFailRate > 0.15 {
 				t.Fatalf("%s: post-epoch fail rate %.3f", ov, st.SearchFailRate)
 			}
 			got := 0
 			for i := 0; i < 60; i++ {
-				if v, _, err := sys.Get(fmt.Sprintf("k%d", i)); err == nil && len(v) == 1 && v[0] == byte(i) {
+				if v, _, err := sys.Get(ctx, fmt.Sprintf("k%d", i)); err == nil && len(v) == 1 && v[0] == byte(i) {
 					got++
 				}
 			}
@@ -53,21 +57,29 @@ func TestIntegrationAllOverlays(t *testing.T) {
 }
 
 func TestIntegrationAllStrategies(t *testing.T) {
-	for _, strat := range []adversary.Strategy{adversary.Uniform, adversary.Clustered, adversary.NearKey} {
+	ctx := context.Background()
+	for _, strat := range []tinygroups.Strategy{tinygroups.Uniform, tinygroups.Clustered, tinygroups.NearKey} {
 		strat := strat
 		t.Run(strat.String(), func(t *testing.T) {
-			cfg := core.DefaultConfig(512)
-			cfg.Strategy = strat
-			cfg.Seed = 103
-			sys, err := core.New(cfg)
+			sys, err := tinygroups.New(512,
+				tinygroups.WithStrategy(strat),
+				tinygroups.WithSeed(103),
+			)
 			if err != nil {
 				t.Fatal(err)
 			}
-			rob := sys.Robustness(400)
+			defer sys.Close()
+			rob, err := sys.Robustness(400)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if rob.SearchFailRate > 0.12 {
 				t.Errorf("%s: fail rate %.3f exceeds ε budget", strat, rob.SearchFailRate)
 			}
-			st := sys.AdvanceEpoch()
+			st, err := sys.AdvanceEpoch(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if st.RedFraction[0] > 0.05 {
 				t.Errorf("%s: post-epoch red fraction %.3f", strat, st.RedFraction[0])
 			}
@@ -79,14 +91,17 @@ func TestIntegrationMultiEpochStability(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-epoch run")
 	}
-	cfg := core.DefaultConfig(512)
-	cfg.Seed = 104
-	sys, err := core.New(cfg)
+	ctx := context.Background()
+	sys, err := tinygroups.New(512, tinygroups.WithSeed(104))
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer sys.Close()
 	for e := 0; e < 6; e++ {
-		st := sys.AdvanceEpoch()
+		st, err := sys.AdvanceEpoch(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if st.RedFraction[0] > 0.05 || st.SearchFailRate > 0.15 {
 			t.Fatalf("epoch %d: red=%.3f fail=%.3f — drift detected", st.Epoch, st.RedFraction[0], st.SearchFailRate)
 		}
@@ -97,16 +112,16 @@ func TestIntegrationMultiEpochStability(t *testing.T) {
 }
 
 func TestIntegrationComputePipeline(t *testing.T) {
-	cfg := core.DefaultConfig(512)
-	cfg.Seed = 105
-	sys, err := core.New(cfg)
+	ctx := context.Background()
+	sys, err := tinygroups.New(512, tinygroups.WithSeed(105))
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer sys.Close()
 	correct, total := 0, 0
 	for i := 0; i < 50; i++ {
-		res, err := sys.Compute(fmt.Sprintf("job%d", i), i%2)
-		if errors.Is(err, core.ErrUnreachable) {
+		res, err := sys.Compute(ctx, fmt.Sprintf("job%d", i), i%2)
+		if errors.Is(err, tinygroups.ErrUnreachable) {
 			continue
 		}
 		if err != nil {
@@ -128,18 +143,23 @@ func TestIntegrationErosionRegimes(t *testing.T) {
 	// heavy erosion poisons the graphs the *next* generation is built
 	// through — no self-recovery, exactly why the paper assumes the bound
 	// holds every epoch.
+	ctx := context.Background()
 	run := func(frac float64, epochs int) []float64 {
-		cfg := epoch.DefaultConfig(512)
-		cfg.MidEpochDepartures = frac
-		cfg.Seed = 106
-		s, err := epoch.New(cfg)
+		sys, err := tinygroups.New(512,
+			tinygroups.WithMidEpochDepartures(frac),
+			tinygroups.WithSeed(106),
+		)
 		if err != nil {
 			t.Fatal(err)
 		}
-		defer s.Close()
+		defer sys.Close()
 		var rates []float64
 		for e := 0; e < epochs; e++ {
-			rates = append(rates, s.RunEpoch().SearchFailRate)
+			st, err := sys.AdvanceEpoch(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rates = append(rates, st.SearchFailRate)
 		}
 		return rates
 	}
@@ -153,5 +173,51 @@ func TestIntegrationErosionRegimes(t *testing.T) {
 	if heavy[1] < heavy[0] {
 		t.Errorf("heavy erosion should compound into the next construction: %.3f then %.3f",
 			heavy[0], heavy[1])
+	}
+}
+
+// TestIntegrationBatchPipeline drives the batch surface end to end across
+// an epoch: batched puts, churn, batched lookups.
+func TestIntegrationBatchPipeline(t *testing.T) {
+	ctx := context.Background()
+	sys, err := tinygroups.New(512, tinygroups.WithSeed(107))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	pairs := make([]tinygroups.KV, 80)
+	keys := make([]string, len(pairs))
+	for i := range pairs {
+		keys[i] = fmt.Sprintf("batch-%02d", i)
+		pairs[i] = tinygroups.KV{Key: keys[i], Value: []byte{byte(i)}}
+	}
+	puts, err := sys.PutBatch(ctx, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored := 0
+	for _, r := range puts {
+		if r.Err == nil {
+			stored++
+		}
+	}
+	if stored < 72 {
+		t.Fatalf("only %d/80 batched puts landed", stored)
+	}
+	if _, err := sys.AdvanceEpoch(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.LookupBatch(ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reachable := 0
+	for _, r := range res {
+		if r.Err == nil {
+			reachable++
+		}
+	}
+	if reachable < 72 {
+		t.Fatalf("only %d/80 keys reachable after churn", reachable)
 	}
 }

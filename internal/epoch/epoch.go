@@ -25,6 +25,7 @@
 package epoch
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -303,6 +304,17 @@ func (s *System) Graphs() [2]*groups.Graph { return s.g }
 // Ring returns the current generation's ID set.
 func (s *System) Ring() *ring.Ring { return s.ids }
 
+// BadCount returns the number of Byzantine IDs in the serving generation
+// (the adversary's PoW-minted ≈βn share, Lemma 11).
+func (s *System) BadCount() int { return len(s.badList) }
+
+// Pool returns the system's persistent construction worker pool so callers
+// can fan their own read-only work — batch lookups against the immutable
+// serving graphs, say — across the same workers instead of maintaining a
+// second pool. The pool is owned by the System: callers must not Close it
+// and must not use it concurrently with RunEpoch.
+func (s *System) Pool() *engine.Pool { return s.pool }
+
 // tallyDual folds one dual-search outcome pair into the worker's tallies
 // and reports whether the step was corrupted (all searches failed).
 // lastRank is the old-ring rank of suc(p) when the route surfaced it for
@@ -476,6 +488,33 @@ func (s *System) buildID(wk *workerScratch, wi int, w ring.Point, epochSeed int6
 // Construction fans out over the system's worker pool; see the package
 // comment for why results are independent of the worker count.
 func (s *System) RunEpoch() Stats {
+	st, err := s.RunEpochContext(context.Background())
+	if err != nil {
+		panic("epoch: " + err.Error()) // background context never cancels
+	}
+	return st
+}
+
+// ctxBatch is the per-ID construction batch size between cancellation
+// polls of RunEpochContext. It only shapes how often ctx is checked —
+// per-ID randomness is hash-derived, so batching never changes results.
+const ctxBatch = 256
+
+// RunEpochContext is RunEpoch with cooperative cancellation: ctx is polled
+// between per-ID construction batches and between the epoch's phases. On
+// cancellation it returns ctx.Err(), per-worker tallies are discarded, and
+// the generation swap never happens — the system keeps serving the old
+// generation and remains fully usable. (The system's top-level rng has
+// advanced past the aborted placement draw, so a retried epoch samples a
+// fresh generation rather than replaying the aborted one.)
+//
+// A context that cannot be cancelled (Done() == nil, e.g.
+// context.Background()) takes the unchunked fast path: one pool broadcast
+// per phase, byte-identical to RunEpoch.
+func (s *System) RunEpochContext(ctx context.Context) (Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return Stats{}, err
+	}
 	st := Stats{Epoch: s.epoch + 1}
 	epochSeed := engine.TrialSeed(s.cfg.Seed, "epoch", st.Epoch)
 	// New generation of IDs: good participants re-mint; the adversary
@@ -512,11 +551,27 @@ func (s *System) RunEpoch() Stats {
 	// Phase 1 — per-ID construction, fanned across the pool. Each task
 	// reads only immutable old-generation state (ring, graphs, blue list,
 	// bad lists — all frozen until the swap below) and writes only its own
-	// rank's arena slots plus its worker's tally.
+	// rank's arena slots plus its worker's tally. Under a cancellable
+	// context the fan-out proceeds in ctxBatch-sized rank ranges with a
+	// poll between batches; the split is invisible to results.
 	newPts := newRing.Points()
-	s.pool.ForEach(n, func(worker, wi int) {
+	build := func(worker, wi int) {
 		s.buildID(&s.scratch[worker], wi, newPts[wi], epochSeed, newBad, newOv, size, nGraphs)
-	})
+	}
+	if ctx.Done() == nil {
+		s.pool.ForEach(n, build)
+	} else {
+		for lo := 0; lo < n; lo += ctxBatch {
+			if err := ctx.Err(); err != nil {
+				return s.abortEpoch(err)
+			}
+			hi := min(lo+ctxBatch, n)
+			s.pool.ForEach(hi-lo, func(worker, i int) { build(worker, lo+i) })
+		}
+		if err := ctx.Err(); err != nil {
+			return s.abortEpoch(err)
+		}
+	}
 
 	// Phase 2 — spam attack (Lemma 10 / E12): each bad new ID issues bogus
 	// membership requests to random good old IDs; the target's dual
@@ -540,6 +595,10 @@ func (s *System) RunEpoch() Stats {
 				}
 			}
 		})
+	}
+
+	if err := ctx.Err(); err != nil {
+		return s.abortEpoch(err)
 	}
 
 	// Merge per-worker tallies (integer sums: order-free).
@@ -613,7 +672,11 @@ func (s *System) RunEpoch() Stats {
 		st.MeanMemberships = float64(totalMemberships) / float64(len(s.goodList))
 	}
 
-	// Post-construction robustness of the new generation.
+	// Post-construction robustness of the new generation. Last abort
+	// point: past here the generations swap and the epoch must commit.
+	if err := ctx.Err(); err != nil {
+		return s.abortEpoch(err)
+	}
 	probe := newG[0].MeasureRobustness(512, s.rng)
 	st.SearchFailRate = probe.SearchFailRate
 	if s.cfg.TwoGraphs {
@@ -629,7 +692,17 @@ func (s *System) RunEpoch() Stats {
 	s.indexGeneration()
 	s.refreshBlue()
 	s.epoch++
-	return st
+	return st, nil
+}
+
+// abortEpoch discards the partial epoch: per-worker tallies are zeroed so
+// the next construction starts clean (the arenas are re-sized per epoch
+// anyway, and nothing was swapped).
+func (s *System) abortEpoch(err error) (Stats, error) {
+	for i := range s.scratch {
+		s.scratch[i].t = tally{}
+	}
+	return Stats{}, err
 }
 
 // sizeArenas (re)shapes the rank-indexed construction arenas for a

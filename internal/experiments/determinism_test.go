@@ -39,8 +39,8 @@ func TestTrialsDeterminism(t *testing.T) {
 // ignoring the root seed): different seeds must produce different sampled
 // tables somewhere.
 func TestSeedChangesOutput(t *testing.T) {
-	a := E1StaticSearch(Options{Quick: true, Seed: 1})
-	b := E1StaticSearch(Options{Quick: true, Seed: 2})
+	a := mustLookup("e1").Run(Options{Quick: true, Seed: 1})
+	b := mustLookup("e1").Run(Options{Quick: true, Seed: 2})
 	if a.Table.String() == b.Table.String() {
 		t.Error("e1 tables identical under different root seeds")
 	}

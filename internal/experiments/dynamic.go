@@ -1,70 +1,73 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/baseline"
 	"repro/internal/engine"
 	"repro/internal/epoch"
-	"repro/internal/metrics"
 )
 
 // E4Dynamic regenerates the Theorem 3 dynamic series: per-epoch red
 // fractions and search failure under full population turnover. Epochs are
 // causally chained (each construction runs through the previous epoch's
-// graphs), so the whole chain is one engine trial.
-func E4Dynamic(o Options) Result {
+// graphs), so the chain runs inline — one logical trial whose rows stream
+// out as each epoch completes, with a cancellation poll between epochs.
+// The trial seed derivation matches the engine.Map scheme exactly, so the
+// table is byte-identical to the former batch form.
+func E4Dynamic(ctx context.Context, o Options, em Emitter) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	n := 1 << 10
 	epochs := 8
 	if o.Quick {
 		n = 512
 		epochs = 4
 	}
-	rows := engine.Map(o.cfg(), "e4", 1, func(_ int, rng *rand.Rand) [][]string {
-		cfg := epoch.DefaultConfig(n)
-		cfg.Params.Beta = 0.05
-		cfg.Seed = rng.Int63()
-		s, err := epoch.New(cfg)
+	rng := rand.New(rand.NewSource(engine.TrialSeed(o.Seed, "e4", 0)))
+	cfg := epoch.DefaultConfig(n)
+	cfg.Params.Beta = 0.05
+	cfg.Seed = rng.Int63()
+	s, err := epoch.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	defer s.Close()
+	em.Header("epoch", "qfSingle", "qfDual", "redFrac1", "redFrac2", "searchFail")
+	for e := 0; e < epochs; e++ {
+		st, err := s.RunEpochContext(ctx)
 		if err != nil {
-			panic(err)
+			return err
 		}
-		defer s.Close()
-		var out [][]string
-		for e := 0; e < epochs; e++ {
-			st := s.RunEpoch()
-			out = append(out, []string{itoa(st.Epoch), f4(st.QfSingle), f4(st.QfDual),
-				f4(st.RedFraction[0]), f4(st.RedFraction[1]), f4(st.SearchFailRate)})
-		}
-		return out
-	})
-	tab := &metrics.Table{Header: []string{"epoch", "qfSingle", "qfDual", "redFrac1", "redFrac2", "searchFail"}}
-	for _, r := range rows[0] {
-		tab.Append(r...)
+		em.Row(itoa(st.Epoch), f4(st.QfSingle), f4(st.QfDual),
+			f4(st.RedFraction[0]), f4(st.RedFraction[1]), f4(st.SearchFailRate))
 	}
-	return Result{
-		ID: "e4", Title: "Dynamic ε-robustness across epochs (Theorem 3)", Table: tab,
-		Notes: []string{
-			"Expected shape: qfDual ≈ qfSingle², and redFrac/searchFail stay flat across epochs (no drift).",
-		},
-	}
+	em.Note("Expected shape: qfDual ≈ qfSingle², and redFrac/searchFail stay flat across epochs (no drift).")
+	return nil
 }
 
 // E5Ablation regenerates the §III two-graph-necessity comparison: the same
 // run with one group graph accumulates error; with two it does not. The
-// two arms are independent engine trials.
-func E5Ablation(o Options) Result {
+// arms run sequentially so each arm's rows stream out epoch by epoch;
+// their randomness is arm-indexed by construction (not draw order), so the
+// table matches the former parallel-arm batch form byte for byte.
+func E5Ablation(ctx context.Context, o Options, em Emitter) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	n := 1 << 10
 	epochs := 8
 	if o.Quick {
 		n = 512
 		epochs = 5
 	}
-	arms := []bool{true, false}
 	// Both arms share one seed so the comparison is paired: the only
 	// difference between the row series is TwoGraphs.
 	sharedSeed := engine.TrialSeed(o.Seed, "e5/shared", 0)
-	rows := engine.Map(o.cfg(), "e5", len(arms), func(ai int, _ *rand.Rand) [][]string {
-		twoGraphs := arms[ai]
+	em.Header("graphs", "epoch", "qfEff", "redFrac", "searchFail")
+	for _, twoGraphs := range []bool{true, false} {
 		cfg := epoch.DefaultConfig(n)
 		cfg.Params.Beta = 0.05
 		cfg.TwoGraphs = twoGraphs
@@ -73,39 +76,34 @@ func E5Ablation(o Options) Result {
 		if err != nil {
 			panic(err)
 		}
-		defer s.Close()
 		label := "2"
 		if !twoGraphs {
 			label = "1"
 		}
-		var out [][]string
 		for e := 0; e < epochs; e++ {
-			st := s.RunEpoch()
+			st, err := s.RunEpochContext(ctx)
+			if err != nil {
+				s.Close()
+				return err
+			}
 			qfEff := st.QfDual // the corruption probability per construction step
-			out = append(out, []string{label, itoa(st.Epoch), f4(qfEff), f4(st.RedFraction[0]), f4(st.SearchFailRate)})
+			em.Row(label, itoa(st.Epoch), f4(qfEff), f4(st.RedFraction[0]), f4(st.SearchFailRate))
 		}
-		return out
-	})
-	tab := &metrics.Table{Header: []string{"graphs", "epoch", "qfEff", "redFrac", "searchFail"}}
-	for _, arm := range rows {
-		for _, r := range arm {
-			tab.Append(r...)
-		}
+		s.Close()
 	}
-	return Result{
-		ID: "e5", Title: "Two-graph vs single-graph ablation", Table: tab,
-		Notes: []string{
-			"Expected shape: with 1 graph the per-step corruption qfEff equals qf and compounds — redFrac and",
-			"searchFail drift upward epoch over epoch; with 2 graphs qfEff ≈ qf² and the series stays flat.",
-		},
-	}
+	em.Note("Expected shape: with 1 graph the per-step corruption qfEff equals qf and compounds — redFrac and")
+	em.Note("searchFail drift upward epoch over epoch; with 2 graphs qfEff ≈ qf² and the series stays flat.")
+	return nil
 }
 
 // E10Cuckoo regenerates the related-work anchor: the cuckoo rule's group
 // size requirement ([47]: |G| ≈ 64 at n = 8192) vs this paper's tiny
 // groups. Every cuckoo (|G|, β) cell and the tiny-groups arm are
 // independent engine trials.
-func E10Cuckoo(o Options) Result {
+func E10Cuckoo(ctx context.Context, o Options, em Emitter) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	n := 1 << 13
 	events := 100000
 	if o.Quick {
@@ -156,22 +154,21 @@ func E10Cuckoo(o Options) Result {
 		return []string{"tinygroups+pow", itoa(ecfg.N), itoa(s.Graphs()[0].GroupSize()), f3(0.05),
 			itoa(epochs * ecfg.N), "true", f3(worst)}
 	})
-	tab := &metrics.Table{Header: []string{"scheme", "n", "|G|", "beta", "events", "survived", "maxBadFrac"}}
+	em.Header("scheme", "n", "|G|", "beta", "events", "survived", "maxBadFrac")
 	for _, r := range rows {
-		tab.Append(r...)
+		em.Row(r...)
 	}
-	return Result{
-		ID: "e10", Title: "Cuckoo-rule baseline vs tiny groups", Table: tab,
-		Notes: []string{
-			"Expected shape: cuckoo needs |G| ≈ 64 to survive at tiny β and dies quickly with small groups at",
-			"moderate β; the PoW construction sustains |G| = Θ(log log n) at β = 0.05 (red fraction stays tiny).",
-		},
-	}
+	em.Note("Expected shape: cuckoo needs |G| ≈ 64 to survive at tiny β and dies quickly with small groups at")
+	em.Note("moderate β; the PoW construction sustains |G| = Θ(log log n) at β = 0.05 (red fraction stays tiny).")
+	return nil
 }
 
 // E12State regenerates the Lemma 10 state-bound table: spam accepted and
 // membership state with verification on vs off — two independent trials.
-func E12State(o Options) Result {
+func E12State(ctx context.Context, o Options, em Emitter) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	n := 512
 	if o.Quick {
 		n = 256
@@ -194,15 +191,11 @@ func E12State(o Options) Result {
 		return []string{boolStr(verify), itoa(cfg.SpamFactor), itoa(nBad * cfg.SpamFactor),
 			itoa(st.SpamAccepted), f1(st.MeanMemberships), itoa(st.ErroneousRejects)}
 	})
-	tab := &metrics.Table{Header: []string{"verify", "spam/bad", "spamSent", "spamAccepted", "memberships", "errRejects"}}
+	em.Header("verify", "spam/bad", "spamSent", "spamAccepted", "memberships", "errRejects")
 	for _, r := range rows {
-		tab.Append(r...)
+		em.Row(r...)
 	}
-	return Result{
-		ID: "e12", Title: "Verification caps state under spam (Lemma 10)", Table: tab,
-		Notes: []string{
-			"Expected shape: with verification, spamAccepted ≈ qf²·spamSent ≈ 0 and memberships stay",
-			"O(log log n); without it every bogus request lands.",
-		},
-	}
+	em.Note("Expected shape: with verification, spamAccepted ≈ qf²·spamSent ≈ 0 and memberships stay")
+	em.Note("O(log log n); without it every bogus request lands.")
+	return nil
 }

@@ -2,9 +2,17 @@
 // one table (or series) per analytic claim of the paper. Each experiment is
 // a pure function of its Options, so CLI runs and benchmarks are
 // reproducible bit-for-bit given a seed.
+//
+// Experiments are *streaming*: the canonical form is a StreamFunc that
+// emits its header, rows and notes into an Emitter as they are produced —
+// epoch-chained series (e4, e5) surface each epoch's row the moment it is
+// measured, and a cancelled context aborts the remaining work between
+// rows. Experiment.Run is the buffering adapter for callers that want the
+// whole table at once (goldens, benchmarks, determinism checks).
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strconv"
@@ -71,6 +79,37 @@ func meanCells(o Options, scope string, nCells, dims int, measure func(cell, rep
 	return out
 }
 
+// Emitter receives one experiment's output incrementally: one Header call,
+// then Rows in table order, then interpretation Notes. Implementations
+// must not retain the variadic slices past the call.
+type Emitter interface {
+	Header(cols ...string)
+	Row(cells ...string)
+	Note(text string)
+}
+
+// Collector is the buffering Emitter behind Experiment.Run: it gathers the
+// stream into a metrics.Table plus notes.
+type Collector struct {
+	Table metrics.Table
+	Notes []string
+}
+
+// Header sets the table header (copied; emitters may reuse the slice).
+func (c *Collector) Header(cols ...string) { c.Table.Header = append([]string(nil), cols...) }
+
+// Row appends one table row (copied; emitters may reuse the slice).
+func (c *Collector) Row(cells ...string) { c.Table.Append(append([]string(nil), cells...)...) }
+
+// Note records one interpretation note.
+func (c *Collector) Note(text string) { c.Notes = append(c.Notes, text) }
+
+// StreamFunc runs one experiment, emitting output as it is produced. It
+// returns a non-nil error only when ctx is cancelled (the experiments
+// themselves are infallible given validated Options); chained experiments
+// poll ctx between rows, batch experiments before their trial fan-out.
+type StreamFunc func(ctx context.Context, o Options, em Emitter) error
+
 // Result is one regenerated table plus interpretation notes.
 type Result struct {
 	ID    string
@@ -79,16 +118,71 @@ type Result struct {
 	Notes []string
 }
 
-// Experiment is a named, runnable experiment.
+// Experiment is a named, runnable experiment. Stream is the canonical
+// streaming form; Run is the buffered adapter.
 type Experiment struct {
-	ID    string
-	Title string
-	Run   func(Options) Result
+	ID     string
+	Title  string
+	Stream StreamFunc
 }
 
-// All lists every experiment in DESIGN.md order.
+// Run executes the experiment to completion and returns the buffered
+// Result — the batch form the golden, determinism and benchmark harnesses
+// compare.
+func (e Experiment) Run(o Options) Result {
+	var c Collector
+	if err := e.Stream(context.Background(), o, &c); err != nil {
+		panic("experiments: " + e.ID + ": " + err.Error()) // background context never cancels
+	}
+	return Result{ID: e.ID, Title: e.Title, Table: &c.Table, Notes: c.Notes}
+}
+
+// registry is the map-backed experiment index; order preserves
+// registration order so All() lists DESIGN.md order for the built-ins.
+var (
+	registry = map[string]Experiment{}
+	order    []string
+)
+
+// Register adds an experiment to the registry. Empty IDs, nil Stream
+// functions and duplicate IDs are rejected — a duplicate registration is
+// always a bug, not a request to shadow.
+func Register(e Experiment) error {
+	if e.ID == "" || e.Stream == nil {
+		return fmt.Errorf("experiments: Register needs an ID and a Stream func (got ID %q)", e.ID)
+	}
+	if _, dup := registry[e.ID]; dup {
+		return fmt.Errorf("experiments: duplicate experiment ID %q", e.ID)
+	}
+	registry[e.ID] = e
+	order = append(order, e.ID)
+	return nil
+}
+
+// MustRegister is Register, panicking on rejection (init-time use).
+func MustRegister(e Experiment) {
+	if err := Register(e); err != nil {
+		panic(err)
+	}
+}
+
+// All lists every registered experiment in registration order.
 func All() []Experiment {
-	return []Experiment{
+	out := make([]Experiment, len(order))
+	for i, id := range order {
+		out[i] = registry[id]
+	}
+	return out
+}
+
+// Lookup finds an experiment by ID in O(1).
+func Lookup(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+func init() {
+	for _, e := range []Experiment{
 		{"e1", "Static search success (Lemma 4 / Thm 3)", E1StaticSearch},
 		{"e2", "Bad-group probability vs group size (S2/Lemma 9 shape)", E2BadGroups},
 		{"e3", "Cost table: tiny vs Θ(log n) groups (Corollary 1)", E3Costs},
@@ -109,17 +203,9 @@ func All() []Experiment {
 		{"e18", "Quarantine of misbehaving members (footnote 2 extension)", E18Quarantine},
 		{"e19", "Adaptive PoW: work only when attacked (conclusion / [22])", E19AdaptivePoW},
 		{"e20", "System size Θ(n) oscillation (§III remark)", E20SizeDrift},
+	} {
+		MustRegister(e)
 	}
-}
-
-// Lookup finds an experiment by ID.
-func Lookup(id string) (Experiment, bool) {
-	for _, e := range All() {
-		if e.ID == id {
-			return e, true
-		}
-	}
-	return Experiment{}, false
 }
 
 func f3(x float64) string   { return fmt.Sprintf("%.3f", x) }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"strconv"
 	"strings"
 	"testing"
@@ -50,7 +52,7 @@ func TestLookupFindsAll(t *testing.T) {
 // TestE1ShapeHolds spot-checks the headline claim in quick mode: the static
 // search failure rate is small at both sampled sizes.
 func TestE1ShapeHolds(t *testing.T) {
-	res := E1StaticSearch(Options{Quick: true, Seed: 2})
+	res := mustLookup("e1").Run(Options{Quick: true, Seed: 2})
 	for _, row := range res.Table.Rows {
 		fail, err := strconv.ParseFloat(row[4], 64)
 		if err != nil {
@@ -65,7 +67,7 @@ func TestE1ShapeHolds(t *testing.T) {
 // TestE5AblationShape spot-checks the two-graph advantage: the final-epoch
 // red fraction under one graph must exceed the two-graph one.
 func TestE5AblationShape(t *testing.T) {
-	res := E5Ablation(Options{Quick: true, Seed: 3})
+	res := mustLookup("e5").Run(Options{Quick: true, Seed: 3})
 	var lastTwo, lastOne float64
 	for _, row := range res.Table.Rows {
 		v, _ := strconv.ParseFloat(row[3], 64)
@@ -82,10 +84,121 @@ func TestE5AblationShape(t *testing.T) {
 
 // TestE13Perfect: agreement and validity must be exact.
 func TestE13Perfect(t *testing.T) {
-	res := E13BA(Options{Quick: true, Seed: 4})
+	res := mustLookup("e13").Run(Options{Quick: true, Seed: 4})
 	for _, row := range res.Table.Rows {
 		if row[3] != "1.000" || row[4] != "1.000" {
 			t.Errorf("BA row %v: agreement/validity below 1", row)
 		}
 	}
 }
+
+// mustLookup fetches a registered experiment or fails the compile-time
+// contract that the built-in IDs exist.
+func mustLookup(id string) Experiment {
+	e, ok := Lookup(id)
+	if !ok {
+		panic("unknown experiment " + id)
+	}
+	return e
+}
+
+// TestRegisterRejectsDuplicates: the map-backed registry must refuse a
+// second registration of an existing ID, an empty ID, and a nil Stream.
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	stream := func(context.Context, Options, Emitter) error { return nil }
+	if err := Register(Experiment{ID: "e1", Title: "imposter", Stream: stream}); err == nil {
+		t.Fatal("duplicate ID e1 accepted")
+	}
+	if err := Register(Experiment{Title: "anonymous", Stream: stream}); err == nil {
+		t.Error("empty ID accepted")
+	}
+	if err := Register(Experiment{ID: "eX"}); err == nil {
+		t.Error("nil Stream accepted")
+	}
+	if got, _ := Lookup("e1"); got.Title == "imposter" {
+		t.Error("rejected registration still replaced the original")
+	}
+}
+
+// TestStreamEmissionOrder checks the streaming contract on a cheap
+// experiment: exactly one header, then rows, then notes, matching the
+// buffered Result byte for byte.
+func TestStreamEmissionOrder(t *testing.T) {
+	e := mustLookup("e13")
+	var events []string
+	var c Collector
+	err := e.Stream(context.Background(), Options{Quick: true, Seed: 1}, &recordingEmitter{c: &c, events: &events})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 || events[0] != "header" {
+		t.Fatalf("stream did not open with a header: %v", events)
+	}
+	sawRow := false
+	for i, ev := range events[1:] {
+		switch ev {
+		case "header":
+			t.Fatalf("second header at event %d", i+1)
+		case "row":
+			if sawRow && events[i] == "note" {
+				t.Fatalf("row after note at event %d", i+1)
+			}
+			sawRow = true
+		}
+	}
+	want := e.Run(Options{Quick: true, Seed: 1})
+	if c.Table.String() != want.Table.String() {
+		t.Error("streamed table differs from buffered Run")
+	}
+}
+
+// TestStreamCancellationStopsChainedExperiment cancels e4 after its first
+// emitted row: the stream must stop with ctx.Err() before producing the
+// full epoch series.
+func TestStreamCancellationStopsChainedExperiment(t *testing.T) {
+	e := mustLookup("e4")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rows := 0
+	em := &funcEmitter{onRow: func([]string) {
+		rows++
+		cancel()
+	}}
+	err := e.Stream(ctx, Options{Quick: true, Seed: 1}, em)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rows != 1 {
+		t.Errorf("stream emitted %d rows after cancellation, want 1", rows)
+	}
+}
+
+// recordingEmitter forwards to a Collector while logging event kinds.
+type recordingEmitter struct {
+	c      *Collector
+	events *[]string
+}
+
+func (r *recordingEmitter) Header(cols ...string) {
+	*r.events = append(*r.events, "header")
+	r.c.Header(cols...)
+}
+func (r *recordingEmitter) Row(cells ...string) {
+	*r.events = append(*r.events, "row")
+	r.c.Row(cells...)
+}
+func (r *recordingEmitter) Note(text string) {
+	*r.events = append(*r.events, "note")
+	r.c.Note(text)
+}
+
+// funcEmitter dispatches rows to a callback and drops the rest.
+type funcEmitter struct{ onRow func([]string) }
+
+func (f *funcEmitter) Header(...string) {}
+func (f *funcEmitter) Row(cells ...string) {
+	if f.onRow != nil {
+		f.onRow(cells)
+	}
+}
+func (f *funcEmitter) Note(string) {}

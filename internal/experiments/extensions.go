@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/adversary"
@@ -8,7 +9,6 @@ import (
 	"repro/internal/epoch"
 	"repro/internal/groups"
 	"repro/internal/hashes"
-	"repro/internal/metrics"
 	"repro/internal/overlay"
 	"repro/internal/pow"
 	"repro/internal/ring"
@@ -19,7 +19,10 @@ import (
 // protocol-level all-to-all + majority-filter transmission agrees with the
 // graph-level blue-path criterion, and good groups with bad minorities
 // deliver intact. Each (n, β) cell is an engine trial.
-func E14SecureRouting(o Options) Result {
+func E14SecureRouting(ctx context.Context, o Options, em Emitter) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	ns := []int{512, 2048}
 	trials := 1500
 	if o.Quick {
@@ -79,23 +82,22 @@ func E14SecureRouting(o Options) Result {
 		return []string{itoa(c.n), f3(c.beta), f4(float64(delivered) / float64(trials)),
 			f4(float64(agree) / float64(trials)), f4(mi), f1(float64(msgs) / float64(trials))}
 	})
-	tab := &metrics.Table{Header: []string{"n", "beta", "delivered", "scoreAgree", "mixedHopsIntact", "msgs/route"}}
+	em.Header("n", "beta", "delivered", "scoreAgree", "mixedHopsIntact", "msgs/route")
 	for _, r := range rows {
-		tab.Append(r...)
+		em.Row(r...)
 	}
-	return Result{
-		ID: "e14", Title: "Secure routing protocol (majority filtering, §I)", Table: tab,
-		Notes: []string{
-			"Expected shape: scoreAgree = 1.0000 (protocol ≡ blue-path criterion); mixedHopsIntact = 1.0000",
-			"on delivered routes (bad minorities filtered out); msgs/route ≈ D·|G|².",
-		},
-	}
+	em.Note("Expected shape: scoreAgree = 1.0000 (protocol ≡ blue-path criterion); mixedHopsIntact = 1.0000")
+	em.Note("on delivered routes (bad minorities filtered out); msgs/route ≈ D·|G|².")
+	return nil
 }
 
 // E15Departures regenerates the §III churn-bound series: group survival
 // under mid-epoch departures, against the ε'/2 guarantee. Each departure
 // fraction is an engine trial.
-func E15Departures(o Options) Result {
+func E15Departures(ctx context.Context, o Options, em Emitter) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	n := 1 << 10
 	if o.Quick {
 		n = 512
@@ -115,18 +117,14 @@ func E15Departures(o Options) Result {
 		return []string{f3(frac), f3(cfg.Params.GoodDepartureBound()), itoa(st.DepartedMembers),
 			itoa(st.MajoritiesLost), f4(st.RedFraction[0]), f4(st.SearchFailRate)}
 	})
-	tab := &metrics.Table{Header: []string{"departFrac", "bound(ε'/2)", "departed", "majLost", "redFrac", "searchFail"}}
+	em.Header("departFrac", "bound(ε'/2)", "departed", "majLost", "redFrac", "searchFail")
 	for _, r := range rows {
-		tab.Append(r...)
+		em.Row(r...)
 	}
-	return Result{
-		ID: "e15", Title: "Mid-epoch departures vs the ε'/2 bound (§III)", Table: tab,
-		Notes: []string{
-			"Expected shape: at departure rates well under the ε'/2 bound no group loses its majority; near",
-			"the bound a few unlucky tiny groups locally exceed ε'/2 of their good members and flip; far above",
-			"it the system collapses. The per-group guarantee itself is property-tested in internal/groups.",
-		},
-	}
+	em.Note("Expected shape: at departure rates well under the ε'/2 bound no group loses its majority; near")
+	em.Note("the bound a few unlucky tiny groups locally exceed ε'/2 of their good members and flip; far above")
+	em.Note("it the system collapses. The per-group guarantee itself is property-tested in internal/groups.")
+	return nil
 }
 
 // E16Bootstrap regenerates the Appendix IX check: pooling
@@ -134,7 +132,10 @@ func E15Departures(o Options) Result {
 // bootstrapping set w.h.p., while trusting a single tiny group fails with
 // the bad-group probability. Each β is an engine trial (its pool-size
 // sweep shares one constructed system).
-func E16Bootstrap(o Options) Result {
+func E16Bootstrap(ctx context.Context, o Options, em Emitter) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	n := 1 << 12
 	trials := 600
 	if o.Quick {
@@ -168,26 +169,26 @@ func E16Bootstrap(o Options) Result {
 		}
 		return out
 	})
-	tab := &metrics.Table{Header: []string{"n", "beta", "groups", "poolSize", "goodMajorityRate"}}
+	em.Header("n", "beta", "groups", "poolSize", "goodMajorityRate")
 	for _, trialRows := range rows {
 		for _, r := range trialRows {
-			tab.Append(r...)
+			em.Row(r...)
 		}
 	}
-	return Result{
-		ID: "e16", Title: "Bootstrapping sets (Appendix IX)", Table: tab,
-		Notes: []string{
-			"Expected shape: a single tiny group gives a good majority only ~1−O(badness) of the time at",
-			"high beta; pooling O(log n / log log n) groups pushes the rate to ≈1 (Chernoff over O(log n) IDs).",
-		},
-	}
+	em.Note("Expected shape: a single tiny group gives a good majority only ~1−O(badness) of the time at")
+	em.Note("high beta; pooling O(log n / log log n) groups pushes the rate to ≈1 (Chernoff over O(log n) IDs).")
+	return nil
 }
 
 // E17OverlayAblation regenerates the design-choice ablation DESIGN.md
 // calls out: route length vs degree across de Bruijn bases and Chord —
 // the |G|²-per-hop cost makes D the multiplier tiny groups pay. All five
-// constructions share one ring; each build+measure is an engine trial.
-func E17OverlayAblation(o Options) Result {
+// constructions share one ring; each build+measure is an engine trial
+// (rows are emitted in trial order once the fan-out completes).
+func E17OverlayAblation(ctx context.Context, o Options, em Emitter) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	n := 1 << 13
 	samples := 1500
 	if o.Quick {
@@ -207,31 +208,30 @@ func E17OverlayAblation(o Options) Result {
 		{"debruijn-8", func(*rand.Rand) overlay.Graph { return overlay.NewDeBruijn(r, 8) }},
 		{"viceroy", func(rng *rand.Rand) overlay.Graph { return overlay.NewViceroy(r, rng.Int63()) }},
 	}
-	tab := engine.MapReduce(o.cfg(), "e17", len(entries),
-		&metrics.Table{Header: []string{"overlay", "meanHops", "meanDeg", "hops*deg", "cong*n"}},
+	em.Header("overlay", "meanHops", "meanDeg", "hops*deg", "cong*n")
+	engine.MapReduce(o.cfg(), "e17", len(entries), em,
 		func(ei int, rng *rand.Rand) []string {
 			e := entries[ei]
 			p := overlay.Measure(e.mk(rng), samples, rng)
 			return []string{e.name, f1(p.MeanHops), f1(p.MeanDegree), f1(p.MeanHops * p.MeanDegree), f1(p.CongestionXN)}
 		},
-		func(tab *metrics.Table, _ int, row []string) *metrics.Table {
-			tab.Append(row...)
-			return tab
+		func(em Emitter, _ int, row []string) Emitter {
+			em.Row(row...)
+			return em
 		})
-	return Result{
-		ID: "e17", Title: "Overlay ablation: route length vs degree", Table: tab,
-		Notes: []string{
-			"Expected shape: higher de Bruijn bases trade degree for shorter routes (hops ~ log_d n);",
-			"chord buys short routes with Θ(log n) degree. Secure-routing cost scales with hops·|G|²,",
-			"state with degree — the paper's Corollary 1 applies to any of these H.",
-		},
-	}
+	em.Note("Expected shape: higher de Bruijn bases trade degree for shorter routes (hops ~ log_d n);")
+	em.Note("chord buys short routes with Θ(log n) degree. Secure-routing cost scales with hops·|G|²,")
+	em.Note("state with degree — the paper's Corollary 1 applies to any of these H.")
+	return nil
 }
 
 // E18Quarantine regenerates the footnote-2 extension: groups expelling
 // misbehaving members, and the hardening it buys against later departures.
 // Each misbehavior probability is an engine trial.
-func E18Quarantine(o Options) Result {
+func E18Quarantine(ctx context.Context, o Options, em Emitter) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	n := 1 << 10
 	if o.Quick {
 		n = 512
@@ -260,24 +260,23 @@ func E18Quarantine(o Options) Result {
 		rep := g.RemoveMembers(departed)
 		return []string{f3(pMis), itoa(sweeps), itoa(q.Expelled), itoa(resident), itoa(rep.LostMajority)}
 	})
-	tab := &metrics.Table{Header: []string{"pMisbehave", "sweeps", "expelled", "residentBad", "majLost@30%dep"}}
+	em.Header("pMisbehave", "sweeps", "expelled", "residentBad", "majLost@30%dep")
 	for _, r := range rows {
-		tab.Append(r...)
+		em.Row(r...)
 	}
-	return Result{
-		ID: "e18", Title: "Quarantine of misbehaving members (footnote 2)", Table: tab,
-		Notes: []string{
-			"Expected shape: active misbehavers (pMis=1) are fully expelled from blue groups, which then",
-			"survive heavy departures better; perfectly stealthy members (pMis=0) persist but do no routing",
-			"damage. Red groups are never redeemed (their bad majority controls the expulsion vote).",
-		},
-	}
+	em.Note("Expected shape: active misbehavers (pMis=1) are fully expelled from blue groups, which then")
+	em.Note("survive heavy departures better; perfectly stealthy members (pMis=0) persist but do no routing")
+	em.Note("damage. Red groups are never redeemed (their bad majority controls the expulsion vote).")
+	return nil
 }
 
 // E19AdaptivePoW regenerates the conclusion's open question, modeled after
 // [22]: puzzle work that tracks attack intensity. Each attack pattern is
 // an engine trial.
-func E19AdaptivePoW(o Options) Result {
+func E19AdaptivePoW(ctx context.Context, o Options, em Emitter) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	n := 1 << 12
 	epochs := 24
 	if o.Quick {
@@ -304,24 +303,23 @@ func E19AdaptivePoW(o Options) Result {
 		res := pow.RunAdaptive(cfg, n, beta, attacks, rng)
 		return []string{p.name, f4(res.HonestWorkTotal / res.FlatWorkTotal), f4(res.PeakBadFraction), f3(beta)}
 	})
-	tab := &metrics.Table{Header: []string{"attackPattern", "honest/flatWork", "peakBadFrac", "betaBound"}}
+	em.Header("attackPattern", "honest/flatWork", "peakBadFrac", "betaBound")
 	for _, r := range rows {
-		tab.Append(r...)
+		em.Row(r...)
 	}
-	return Result{
-		ID: "e19", Title: "Adaptive PoW: work only when attacked (conclusion / [22])", Table: tab,
-		Notes: []string{
-			"Expected shape: honest spend scales with the attacked-epoch fraction (≈0 in peace, ≈1 under",
-			"permanent griefing — the paper's constant scheme is the worst case), while admitted bad IDs",
-			"never exceed the Lemma 11 β bound.",
-		},
-	}
+	em.Note("Expected shape: honest spend scales with the attacked-epoch fraction (≈0 in peace, ≈1 under")
+	em.Note("permanent griefing — the paper's constant scheme is the worst case), while admitted bad IDs")
+	em.Note("never exceed the Lemma 11 β bound.")
+	return nil
 }
 
 // E20SizeDrift regenerates the §III Θ(n)-size remark: robustness under a
 // population oscillating by a constant factor each epoch. Each drift level
 // is an engine trial (its epochs are causally chained inside).
-func E20SizeDrift(o Options) Result {
+func E20SizeDrift(ctx context.Context, o Options, em Emitter) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	n := 1 << 10
 	epochs := 6
 	if o.Quick {
@@ -346,17 +344,13 @@ func E20SizeDrift(o Options) Result {
 		}
 		return out
 	})
-	tab := &metrics.Table{Header: []string{"drift", "epoch", "n", "redFrac", "searchFail"}}
+	em.Header("drift", "epoch", "n", "redFrac", "searchFail")
 	for _, trialRows := range rows {
 		for _, r := range trialRows {
-			tab.Append(r...)
+			em.Row(r...)
 		}
 	}
-	return Result{
-		ID: "e20", Title: "System size Θ(n) (§III remark)", Table: tab,
-		Notes: []string{
-			"Expected shape: oscillating the population by up to ±50% per epoch leaves the red fraction and",
-			"search failure flat — the construction only depends on n through ln ln n and the ε'/2 margin.",
-		},
-	}
+	em.Note("Expected shape: oscillating the population by up to ±50% per epoch leaves the red fraction and")
+	em.Note("search failure flat — the construction only depends on n through ln ln n and the ε'/2 margin.")
+	return nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -17,7 +18,10 @@ import (
 // of the statistical model. The statistical cells, the literal solves, and
 // the sharded solve are all engine trials; the literal solutions are
 // re-verified in a parallel batch (the epoch-admission hot path).
-func E6PoW(o Options) Result {
+func E6PoW(ctx context.Context, o Options, em Emitter) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	ns := []int{1 << 12, 1 << 14}
 	if o.Quick {
 		ns = []int{1 << 12}
@@ -48,9 +52,9 @@ func E6PoW(o Options) Result {
 		return []string{itoa(c.n), f3(c.beta), itoa(minted), f1(bound),
 			boolStr(float64(minted) <= bound), boolStr(uniform)}
 	})
-	tab := &metrics.Table{Header: []string{"n", "beta", "minted", "bound(1.1βn)", "withinBound", "chi2uniform"}}
+	em.Header("n", "beta", "minted", "bound(1.1βn)", "withinBound", "chi2uniform")
 	for _, r := range statRows {
-		tab.Append(r...)
+		em.Row(r...)
 	}
 
 	// Literal-puzzle validation: solve with real hashing at τ = 2⁻¹⁰,
@@ -76,31 +80,30 @@ func E6PoW(o Options) Result {
 	for _, ok := range pow.VerifyBatch(claims, r, p, o.cfg().Workers()) {
 		allVerified = allVerified && ok
 	}
-	tab.Append("literal", "-", itoa(total/trials), f1(1024), boolStr(allVerified), "-")
+	em.Row("literal", "-", itoa(total/trials), f1(1024), boolStr(allVerified), "-")
 
 	// Sharded solve: one puzzle fanned over the worker pool; the winning
 	// attempt index (and thus this row) is identical at every -parallel.
 	shardSeed := engine.TrialSeed(o.Seed, "e6/sharded", 0)
 	sol, ok := pow.SolveSharded(r, p, shardSeed, 1<<16, o.cfg().Workers())
 	verified := ok && pow.Verify(sol.ID, sol.Sigma, r, p)
-	tab.Append("sharded", "-", itoa(sol.Attempts), f1(1024), boolStr(verified), "-")
+	em.Row("sharded", "-", itoa(sol.Attempts), f1(1024), boolStr(verified), "-")
 
-	return Result{
-		ID: "e6", Title: "PoW minting bound and uniformity (Lemma 11)", Table: tab,
-		Notes: []string{
-			"Expected shape: minted ≤ (1+ε)βn for every β, IDs pass the chi-square uniformity test,",
-			"and the literal puzzle's mean attempts match 1/τ (validating the binomial substitution).",
-			"The sharded row solves one literal puzzle across the worker pool; its attempt index is",
-			"deterministic regardless of parallelism, and every solution re-verifies in batch.",
-		},
-	}
+	em.Note("Expected shape: minted ≤ (1+ε)βn for every β, IDs pass the chi-square uniformity test,")
+	em.Note("and the literal puzzle's mean attempts match 1/τ (validating the binomial substitution).")
+	em.Note("The sharded row solves one literal puzzle across the worker pool; its attempt index is")
+	em.Note("deterministic regardless of parallelism, and every solution re-verifies in batch.")
+	return nil
 }
 
 // E7Lottery regenerates the Lemma 12 table: winner coverage, solution-set
 // size, and message complexity of the string-propagation protocol, with
 // and without the split-release attack. Each n is one engine trial (the
 // two attack arms share its overlay adjacency).
-func E7Lottery(o Options) Result {
+func E7Lottery(ctx context.Context, o Options, em Emitter) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	ns := []int{256, 512, 1024}
 	if o.Quick {
 		ns = []int{256}
@@ -126,26 +129,25 @@ func E7Lottery(o Options) Result {
 		}
 		return out
 	})
-	tab := &metrics.Table{Header: []string{"n", "attack", "covered", "winners", "maxSet", "maxStored", "msgs", "msgs/(n·lnT)"}}
+	em.Header("n", "attack", "covered", "winners", "maxSet", "maxStored", "msgs", "msgs/(n·lnT)")
 	for _, trialRows := range rows {
 		for _, r := range trialRows {
-			tab.Append(r...)
+			em.Row(r...)
 		}
 	}
-	return Result{
-		ID: "e7", Title: "Global random-string lottery (Lemma 12)", Table: tab,
-		Notes: []string{
-			"Expected shape: covered = true always (property i); maxSet = O(ln n) (property ii);",
-			"msgs/(n·lnT) bounded by a polylog constant (property iii). The split attack may raise",
-			"the distinct-winner count above 1 but cannot break coverage.",
-		},
-	}
+	em.Note("Expected shape: covered = true always (property i); maxSet = O(ln n) (property ii);")
+	em.Note("msgs/(n·lnT) bounded by a polylog constant (property iii). The split attack may raise")
+	em.Note("the distinct-winner count above 1 but cannot break coverage.")
+	return nil
 }
 
 // E11Precompute regenerates the §IV-B motivation table: the adversary's
 // usable IDs per epoch with and without string rotation. Epochs are
 // causally chained, so the run is one engine trial.
-func E11Precompute(o Options) Result {
+func E11Precompute(ctx context.Context, o Options, em Emitter) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	epochs := 10
 	if o.Quick {
 		epochs = 6
@@ -158,24 +160,23 @@ func E11Precompute(o Options) Result {
 		}
 		return out
 	})
-	tab := &metrics.Table{Header: []string{"epoch", "usable(rotation)", "usable(noRotation)"}}
+	em.Header("epoch", "usable(rotation)", "usable(noRotation)")
 	for _, r := range rows[0] {
-		tab.Append(r...)
+		em.Row(r...)
 	}
-	return Result{
-		ID: "e11", Title: "Pre-computation attack vs string rotation", Table: tab,
-		Notes: []string{
-			"Expected shape: with rotation the usable arsenal is flat (≈1.5× one epoch's mint);",
-			"without it the hoard grows linearly and eventually swamps any β bound.",
-		},
-	}
+	em.Note("Expected shape: with rotation the usable arsenal is flat (≈1.5× one epoch's mint);")
+	em.Note("without it the hoard grows linearly and eventually swamps any β bound.")
+	return nil
 }
 
 // E13BA regenerates the Byzantine-agreement building-block table: agreement
 // and validity rates at group-sized instances with worst-case equivocators.
 // Each (|G|, behavior) cell is an engine trial; -trials multiplies the
 // per-cell BA runs.
-func E13BA(o Options) Result {
+func E13BA(ctx context.Context, o Options, em Emitter) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	trials := 60
 	if o.Quick {
 		trials = 20
@@ -228,15 +229,11 @@ func E13BA(o Options) Result {
 			f3(float64(agreed) / float64(trials)), f3(float64(valid) / float64(trials)),
 			i64toa(msgs / int64(trials))}
 	})
-	tab := &metrics.Table{Header: []string{"|G|", "t", "behavior", "agreed", "valid", "msgs/run"}}
+	em.Header("|G|", "t", "behavior", "agreed", "valid", "msgs/run")
 	for _, r := range rows {
-		tab.Append(r...)
+		em.Row(r...)
 	}
-	return Result{
-		ID: "e13", Title: "Byzantine agreement inside groups", Table: tab,
-		Notes: []string{
-			"Expected shape: agreed = valid = 1.000 for every size and behavior (phase-king, n > 4t);",
-			"msgs/run ≈ rounds·|G|² — the Θ(|G|²) group-communication cost of §I.",
-		},
-	}
+	em.Note("Expected shape: agreed = valid = 1.000 for every size and behavior (phase-king, n > 4t);")
+	em.Note("msgs/run ≈ rounds·|G|² — the Θ(|G|²) group-communication cost of §I.")
+	return nil
 }

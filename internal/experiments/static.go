@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -9,7 +10,6 @@ import (
 	"repro/internal/engine"
 	"repro/internal/groups"
 	"repro/internal/hashes"
-	"repro/internal/metrics"
 	"repro/internal/overlay"
 )
 
@@ -26,7 +26,10 @@ func staticGraph(n int, beta float64, rng *rand.Rand) *groups.Graph {
 // E1StaticSearch regenerates the Lemma 4 / Theorem 3 static series: search
 // failure rate vs n at tiny group sizes, against the 1/log² n reference
 // shape. Each (n, β) cell is an independent engine trial.
-func E1StaticSearch(o Options) Result {
+func E1StaticSearch(ctx context.Context, o Options, em Emitter) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	ns := []int{1 << 10, 1 << 12, 1 << 14, 1 << 16}
 	searches := 4000
 	if o.Quick {
@@ -50,24 +53,23 @@ func E1StaticSearch(o Options) Result {
 		rob := g.MeasureRobustness(searches, rng)
 		return []float64{float64(g.GroupSize()), rob.RedFraction, rob.SearchFailRate}
 	})
-	tab := &metrics.Table{Header: []string{"n", "beta", "|G|", "redFrac", "searchFail", "1/ln^2(n)"}}
+	em.Header("n", "beta", "|G|", "redFrac", "searchFail", "1/ln^2(n)")
 	for ci, c := range cells {
 		ref := 1 / math.Pow(math.Log(float64(c.n)), 2)
-		tab.Append(itoa(c.n), f3(c.beta), itoa(int(math.Round(rows[ci][0]))), f4(rows[ci][1]),
+		em.Row(itoa(c.n), f3(c.beta), itoa(int(math.Round(rows[ci][0]))), f4(rows[ci][1]),
 			f4(rows[ci][2]), f4(ref))
 	}
-	return Result{
-		ID: "e1", Title: "Static search success (Lemma 4 / Thm 3)", Table: tab,
-		Notes: []string{
-			"Expected shape: searchFail stays O(polylog⁻¹), decreasing or flat in n while |G| grows only with ln ln n.",
-			"Paper claims success prob 1−O(1/log^{k−c} n) (Lemma 4).",
-		},
-	}
+	em.Note("Expected shape: searchFail stays O(polylog⁻¹), decreasing or flat in n while |G| grows only with ln ln n.")
+	em.Note("Paper claims success prob 1−O(1/log^{k−c} n) (Lemma 4).")
+	return nil
 }
 
 // E2BadGroups regenerates the S2 probability table: fraction of bad groups
 // vs the group-size multiplier d over ln ln n.
-func E2BadGroups(o Options) Result {
+func E2BadGroups(ctx context.Context, o Options, em Emitter) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	n := 1 << 14
 	if o.Quick {
 		n = 1 << 12
@@ -98,22 +100,21 @@ func E2BadGroups(o Options) Result {
 		g := groups.BuildSized(ov, pl.BadSet(), params, hashes.H1, c.size)
 		return []float64{g.BadFraction()}
 	})
-	tab := &metrics.Table{Header: []string{"n", "beta", "mult", "|G|", "badFrac"}}
+	em.Header("n", "beta", "mult", "|G|", "badFrac")
 	for ci, c := range cells {
-		tab.Append(itoa(n), f3(c.beta), f1(c.mult), itoa(c.size), f4(rows[ci][0]))
+		em.Row(itoa(n), f3(c.beta), f1(c.mult), itoa(c.size), f4(rows[ci][0]))
 	}
-	return Result{
-		ID: "e2", Title: "Bad-group probability vs group size", Table: tab,
-		Notes: []string{
-			"Expected shape: badFrac drops exponentially in |G| (Chernoff), reaching 1/polylog n by d ≈ 2–3.",
-		},
-	}
+	em.Note("Expected shape: badFrac drops exponentially in |G| (Chernoff), reaching 1/polylog n by d ≈ 2–3.")
+	return nil
 }
 
 // E3Costs regenerates the Corollary 1 cost table: tiny groups vs the
 // Θ(log n) baseline on two input-graph degree classes. Each (n, overlay)
 // pair is one engine trial producing both scheme rows.
-func E3Costs(o Options) Result {
+func E3Costs(ctx context.Context, o Options, em Emitter) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	ns := []int{1 << 12, 1 << 14, 1 << 16}
 	if o.Quick {
 		ns = []int{1 << 12}
@@ -156,24 +157,23 @@ func E3Costs(o Options) Result {
 		}
 		return out
 	})
-	tab := &metrics.Table{Header: []string{"n", "overlay", "scheme", "|G|", "groupComm", "msgs/search", "state/ID"}}
+	em.Header("n", "overlay", "scheme", "|G|", "groupComm", "msgs/search", "state/ID")
 	for _, trialRows := range rows {
 		for _, r := range trialRows {
-			tab.Append(r...)
+			em.Row(r...)
 		}
 	}
-	return Result{
-		ID: "e3", Title: "Cost table (Corollary 1)", Table: tab,
-		Notes: []string{
-			"Expected shape: tiny wins every cost column by ≈(ln n / ln ln n)² ≈ 10–20×, growing with n.",
-			"groupComm = |G|²; msgs/search = D·|G|² (secure routing); state = memberships + neighbor links.",
-		},
-	}
+	em.Note("Expected shape: tiny wins every cost column by ≈(ln n / ln ln n)² ≈ 10–20×, growing with n.")
+	em.Note("groupComm = |G|²; msgs/search = D·|G|² (secure routing); state = memberships + neighbor links.")
+	return nil
 }
 
 // E8Knee regenerates the §I-D "can we do better?" series: search success
 // vs group-size multiplier, exhibiting the knee at |G| ≈ ln ln n.
-func E8Knee(o Options) Result {
+func E8Knee(ctx context.Context, o Options, em Emitter) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	n := 1 << 14
 	searches := 3000
 	if o.Quick {
@@ -200,23 +200,23 @@ func E8Knee(o Options) Result {
 		rob := g.MeasureRobustness(searches, rng)
 		return []float64{g.BadFraction(), rob.SearchFailRate}
 	})
-	tab := &metrics.Table{Header: []string{"n", "mult", "|G|", "badFrac", "searchFail"}}
+	em.Header("n", "mult", "|G|", "badFrac", "searchFail")
 	for ci, d := range mults {
-		tab.Append(itoa(n), f3(d), itoa(sizes[ci]), f4(rows[ci][0]), f4(rows[ci][1]))
+		em.Row(itoa(n), f3(d), itoa(sizes[ci]), f4(rows[ci][0]), f4(rows[ci][1]))
 	}
-	return Result{
-		ID: "e8", Title: "Group-size knee (§I-D)", Table: tab,
-		Notes: []string{
-			"Expected shape: below ≈1·ln ln n, searchFail explodes toward 1 (union bound fails);",
-			"at 2–3·ln ln n it is already 1/polylog — the paper's 'pushing the limits' point.",
-		},
-	}
+	em.Note("Expected shape: below ≈1·ln ln n, searchFail explodes toward 1 (union bound fails);")
+	em.Note("at 2–3·ln ln n it is already 1/polylog — the paper's 'pushing the limits' point.")
+	return nil
 }
 
 // E9InputGraphs regenerates the P1–P4 verification table for all three
 // constructions, including the Lemma 5 adversarial-subset variant. Each
-// (n, mode) pair is one engine trial measuring all three overlays.
-func E9InputGraphs(o Options) Result {
+// (n, mode) pair is one engine trial measuring all three overlays (rows
+// are emitted in trial order once the fan-out completes).
+func E9InputGraphs(ctx context.Context, o Options, em Emitter) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	ns := []int{1 << 10, 1 << 12}
 	samples := 2000
 	if o.Quick {
@@ -233,8 +233,8 @@ func E9InputGraphs(o Options) Result {
 			cells = append(cells, cell{n, mode})
 		}
 	}
-	tab := engine.MapReduce(o.cfg(), "e9", len(cells),
-		&metrics.Table{Header: []string{"n", "overlay", "ids", "hops/log2n", "maxLoad", "cong*n", "meanDeg"}},
+	em.Header("n", "overlay", "ids", "hops/log2n", "maxLoad", "cong*n", "meanDeg")
+	engine.MapReduce(o.cfg(), "e9", len(cells), em,
 		func(ci int, rng *rand.Rand) [][]string {
 			c := cells[ci]
 			r := overlay.UniformRing(c.n, rng)
@@ -254,17 +254,13 @@ func E9InputGraphs(o Options) Result {
 			}
 			return out
 		},
-		func(tab *metrics.Table, _ int, trialRows [][]string) *metrics.Table {
+		func(em Emitter, _ int, trialRows [][]string) Emitter {
 			for _, r := range trialRows {
-				tab.Append(r...)
+				em.Row(r...)
 			}
-			return tab
+			return em
 		})
-	return Result{
-		ID: "e9", Title: "Input-graph properties P1–P4 (+ Lemma 5)", Table: tab,
-		Notes: []string{
-			"Expected shape: hops/log2n ≈ O(1); maxLoad = O(ln n); cong·n = O(log^c n);",
-			"chord degree Θ(log n), debruijn/viceroy O(1); all preserved under the Lemma 5 adversarial subset.",
-		},
-	}
+	em.Note("Expected shape: hops/log2n ≈ O(1); maxLoad = O(ln n); cong·n = O(log^c n);")
+	em.Note("chord degree Θ(log n), debruijn/viceroy O(1); all preserved under the Lemma 5 adversarial subset.")
+	return nil
 }

@@ -18,6 +18,7 @@ package hashes
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"io"
 
 	"repro/internal/ring"
 )
@@ -78,6 +79,30 @@ func (f Func) sum(sep byte, data []byte) [sha256.Size]byte {
 func (f Func) Point(data []byte) ring.Point {
 	s := f.sum(0, data)
 	return ring.Point(binary.BigEndian.Uint64(s[:8]))
+}
+
+// PointString is Point for string keys. Output is bit-identical to
+// Point([]byte(key)); short keys compose into the same stack buffer, so
+// the call stays allocation-free without forcing a []byte conversion
+// escape onto the caller — it sits on the key-lookup hot path of the
+// public API.
+func (f Func) PointString(key string) ring.Point {
+	if len(f.tag)+1+len(key) <= oneShotMax {
+		var buf [oneShotMax]byte
+		n := copy(buf[:], f.tag)
+		buf[n] = 0
+		n++
+		n += copy(buf[n:], key)
+		s := sha256.Sum256(buf[:n])
+		return ring.Point(binary.BigEndian.Uint64(s[:8]))
+	}
+	h := sha256.New()
+	h.Write(f.tag)
+	h.Write([]byte{0})
+	io.WriteString(h, key)
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return ring.Point(binary.BigEndian.Uint64(out[:8]))
 }
 
 // PointAt hashes a (point, index) pair, the paper's h(w, i) form used to

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -217,5 +218,24 @@ func TestNoEasyCollisions(t *testing.T) {
 			t.Fatalf("collision at i=%d", i)
 		}
 		seen[p] = true
+	}
+}
+
+// TestPointStringMatchesPoint pins the string fast path to the []byte
+// form, on both the one-shot and streaming branches.
+func TestPointStringMatchesPoint(t *testing.T) {
+	long := strings.Repeat("k", 200)
+	for _, key := range []string{"", "alice", "doc-0042", long} {
+		if got, want := H1.PointString(key), H1.Point([]byte(key)); got != want {
+			t.Errorf("PointString(%q) = %v, want %v", key, got, want)
+		}
+	}
+}
+
+// TestPointStringAllocFree gates the short-key path at 0 allocs/op.
+func TestPointStringAllocFree(t *testing.T) {
+	key := "user-profile-key"
+	if allocs := testing.AllocsPerRun(200, func() { H1.PointString(key) }); allocs != 0 {
+		t.Errorf("PointString allocates %.1f/op, want 0", allocs)
 	}
 }

@@ -1,0 +1,61 @@
+package tinygroups
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// TestLookupAllocFreeNilObserver gates the tentpole's zero-cost-hooks
+// promise: with a nil observer, the keyed routing hot path — key hashing,
+// source draw, path-free search, owner resolution, event gating — runs at
+// 0 allocs/op once the scratch is warm.
+func TestLookupAllocFreeNilObserver(t *testing.T) {
+	ctx := context.Background()
+	s := newTest(t, 512, 0.05, WithSeed(13))
+	key := "steady-state-key"
+	for i := 0; i < 8; i++ { // warm the search scratch
+		if _, err := s.Lookup(ctx, key); err != nil && err != ErrUnreachable {
+			t.Fatal(err)
+		}
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		_, _ = s.Lookup(ctx, key)
+	}); allocs != 0 {
+		t.Errorf("Lookup with nil observer allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	s, err := New(4096, WithBeta(0.05), WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = s.Lookup(ctx, "bench-key")
+	}
+}
+
+func BenchmarkLookupBatch(b *testing.B) {
+	s, err := New(4096, WithBeta(0.05), WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bench-%03d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.LookupBatch(ctx, keys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

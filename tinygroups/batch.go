@@ -1,0 +1,114 @@
+package tinygroups
+
+import (
+	"context"
+
+	"repro/internal/engine"
+	"repro/internal/groups"
+)
+
+// KV is one key/value pair of a PutBatch.
+type KV struct {
+	Key   string
+	Value []byte
+}
+
+// BatchResult is one key's outcome within a batch operation: Err is nil,
+// ErrUnreachable, or a context error, and Info carries the routing cost
+// either way.
+type BatchResult struct {
+	Info LookupInfo
+	Err  error
+}
+
+// batchChunk bounds how many keys are fanned out between context polls.
+const batchChunk = 1024
+
+// searchBatch fans one routed search per key across the system's
+// persistent worker pool and fills results by key index. Per-key
+// randomness comes from a hash-derived stream (one root draw from the
+// system rng per batch), so results are deterministic and independent of
+// the worker count; observer events are emitted in key order afterwards.
+func (s *System) searchBatch(ctx context.Context, op Op, keys []string) ([]BatchResult, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]BatchResult, len(keys))
+	if len(keys) == 0 {
+		return out, nil
+	}
+	batchSeed := s.rng.Int63()
+	pool := s.dyn.Pool()
+	if len(s.batchSc) < pool.Workers() {
+		s.batchSc = make([]groups.SearchScratch, pool.Workers())
+	}
+	g := s.dyn.Graphs()[0]
+	r := g.Overlay().Ring()
+	for lo := 0; lo < len(keys); lo += batchChunk {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		hi := min(lo+batchChunk, len(keys))
+		pool.ForEach(hi-lo, func(worker, i int) {
+			idx := lo + i
+			rng := engine.NewStream(engine.TrialSeed(batchSeed, "batch", idx))
+			src := r.At(rng.Intn(r.Len()))
+			p := keyHash.PointString(keys[idx])
+			res := g.SearchOutcome(src, p, &s.batchSc[worker])
+			info := LookupInfo{Hops: res.Hops, Messages: res.Messages}
+			if !res.OK {
+				out[idx] = BatchResult{Info: info, Err: ErrUnreachable}
+				return
+			}
+			oi := res.LastRank
+			if oi < 0 {
+				oi = r.SuccessorIndex(p)
+			}
+			info.Owner = Point(r.At(oi))
+			out[idx] = BatchResult{Info: info}
+		})
+	}
+	if obs := s.cfg.observer; obs != nil {
+		for i, br := range out {
+			obs.ObserveSearch(SearchEvent{
+				Op: op, Key: keys[i], OK: br.Err == nil,
+				Owner: br.Info.Owner, Hops: br.Info.Hops, Messages: br.Info.Messages,
+			})
+		}
+	}
+	return out, nil
+}
+
+// LookupBatch routes every key concurrently over the system's worker pool
+// and returns per-key results in key order. It amortizes the fan-out cost
+// of many lookups; semantics per key match Lookup. The call-level error is
+// non-nil only for ErrClosed or context cancellation.
+func (s *System) LookupBatch(ctx context.Context, keys []string) ([]BatchResult, error) {
+	return s.searchBatch(ctx, OpLookup, keys)
+}
+
+// PutBatch stores every pair whose owner is securely reachable, routing
+// all keys concurrently over the worker pool. Per-key results report which
+// puts landed; semantics per key match Put.
+func (s *System) PutBatch(ctx context.Context, pairs []KV) ([]BatchResult, error) {
+	keys := make([]string, len(pairs))
+	for i, kv := range pairs {
+		keys[i] = kv.Key
+	}
+	out, err := s.searchBatch(ctx, OpPut, keys)
+	if err != nil {
+		return nil, err
+	}
+	for i, br := range out {
+		if br.Err != nil {
+			continue
+		}
+		v := make([]byte, len(pairs[i].Value))
+		copy(v, pairs[i].Value)
+		s.store[pairs[i].Key] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,145 @@
+package tinygroups
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func batchKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("doc-%04d", i)
+	}
+	return keys
+}
+
+// TestLookupBatchMatchesSequentialOwners: batch routing must resolve every
+// reachable key to the same owner the sequential path does (owners are a
+// pure function of the key within an epoch).
+func TestLookupBatchMatchesSequentialOwners(t *testing.T) {
+	ctx := context.Background()
+	s := newTest(t, 512, 0, WithSeed(21), WithWorkers(4))
+	keys := batchKeys(64)
+	res, err := s.LookupBatch(ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(keys) {
+		t.Fatalf("%d results for %d keys", len(res), len(keys))
+	}
+	for i, br := range res {
+		if br.Err != nil {
+			t.Fatalf("key %s unreachable at β=0: %v", keys[i], br.Err)
+		}
+		seq, err := s.Lookup(ctx, keys[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if br.Info.Owner != seq.Owner {
+			t.Fatalf("key %s: batch owner %v != sequential owner %v", keys[i], br.Info.Owner, seq.Owner)
+		}
+		if br.Info.Hops <= 0 || br.Info.Messages <= 0 {
+			t.Errorf("key %s: routing cost missing: %+v", keys[i], br.Info)
+		}
+	}
+}
+
+// TestPutBatchRoundTrip: batched puts land in the store and read back.
+func TestPutBatchRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	s := newTest(t, 512, 0, WithSeed(22))
+	pairs := make([]KV, 40)
+	for i := range pairs {
+		pairs[i] = KV{Key: fmt.Sprintf("k%d", i), Value: []byte(fmt.Sprintf("v%d", i))}
+	}
+	res, err := s.PutBatch(ctx, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, br := range res {
+		if br.Err != nil {
+			t.Fatalf("put %s failed at β=0: %v", pairs[i].Key, br.Err)
+		}
+		got, _, err := s.Get(ctx, pairs[i].Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, pairs[i].Value) {
+			t.Fatalf("key %s: got %q want %q", pairs[i].Key, got, pairs[i].Value)
+		}
+	}
+	// Stored values must be copies, not aliases of the caller's slices.
+	pairs[0].Value[0] = 'X'
+	if got, _, _ := s.Get(ctx, pairs[0].Key); got[0] == 'X' {
+		t.Error("PutBatch stored the caller's slice instead of a copy")
+	}
+}
+
+// TestPutBatchSkipsUnreachable: under attack, failed keys are reported
+// per-key and not stored, while the call itself succeeds.
+func TestPutBatchSkipsUnreachable(t *testing.T) {
+	ctx := context.Background()
+	s := newTest(t, 1024, 0.10, WithSeed(23))
+	pairs := make([]KV, 200)
+	for i := range pairs {
+		pairs[i] = KV{Key: fmt.Sprintf("k%d", i), Value: []byte{byte(i)}}
+	}
+	res, err := s.PutBatch(ctx, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := 0
+	for i, br := range res {
+		if br.Err == nil {
+			continue
+		}
+		failed++
+		if !errors.Is(br.Err, ErrUnreachable) {
+			t.Errorf("key %d: err = %v, want ErrUnreachable", i, br.Err)
+		}
+		if _, _, err := s.Get(ctx, pairs[i].Key); !errors.Is(err, ErrNotFound) && !errors.Is(err, ErrUnreachable) {
+			t.Errorf("unreachable key %d was stored anyway", i)
+		}
+	}
+	if failed == 0 {
+		t.Log("no unreachable keys at this seed (fine: ε is small)")
+	}
+	if float64(failed)/float64(len(pairs)) > 0.10 {
+		t.Errorf("%d/%d batch puts failed at β=0.10", failed, len(pairs))
+	}
+}
+
+// TestBatchWorkerInvariance: batch results are bit-identical at every
+// worker count — the engine's determinism contract extended to the public
+// batch surface.
+func TestBatchWorkerInvariance(t *testing.T) {
+	ctx := context.Background()
+	run := func(workers int) []BatchResult {
+		s := newTest(t, 512, 0.08, WithSeed(24), WithWorkers(workers))
+		res, err := s.LookupBatch(ctx, batchKeys(100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(1)
+	for _, w := range []int{2, 8} {
+		got := run(w)
+		for i := range ref {
+			if got[i].Info != ref[i].Info || (got[i].Err == nil) != (ref[i].Err == nil) {
+				t.Fatalf("workers=%d: result %d diverged: %+v vs %+v", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	s := newTest(t, 256, 0)
+	res, err := s.LookupBatch(context.Background(), nil)
+	if err != nil || len(res) != 0 {
+		t.Errorf("empty batch: %v, %d results", err, len(res))
+	}
+}

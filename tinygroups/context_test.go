@@ -1,0 +1,101 @@
+package tinygroups
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countdownCtx is a context whose Err() flips to Canceled after a fixed
+// number of polls — a deterministic way to cancel AdvanceEpoch at a chosen
+// depth inside the construction, without racing a timer.
+type countdownCtx struct {
+	remaining atomic.Int64
+}
+
+var neverDone = make(chan struct{})
+
+func (c *countdownCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *countdownCtx) Done() <-chan struct{}       { return neverDone }
+func (c *countdownCtx) Value(any) any               { return nil }
+func (c *countdownCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestAdvanceEpochCancelledMidConstruction is the acceptance check for
+// context-aware epochs: cancellation fires *between per-ID construction
+// batches* (after the entry checks pass), the epoch aborts with a
+// context error, the generation never swaps, and the system keeps
+// serving.
+func TestAdvanceEpochCancelledMidConstruction(t *testing.T) {
+	ctx := context.Background()
+	s := newTest(t, 512, 0.05, WithSeed(11))
+	// Three successful polls: AdvanceEpoch entry, placement, first
+	// construction batch. The second batch's poll cancels — mid-way
+	// through the per-ID fan-out of a 512-ID generation.
+	cd := &countdownCtx{}
+	cd.remaining.Store(3)
+	_, err := s.AdvanceEpoch(cd)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in its chain", err)
+	}
+	if cd.remaining.Load() >= 0 {
+		t.Fatalf("cancellation never reached the construction (remaining %d)", cd.remaining.Load())
+	}
+	if s.Epoch() != 0 {
+		t.Fatalf("aborted epoch advanced the counter to %d", s.Epoch())
+	}
+	// The system must remain fully serviceable after the abort.
+	if _, err := s.Lookup(ctx, "still-alive"); err != nil && !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("post-abort lookup: %v", err)
+	}
+	st, err := s.AdvanceEpoch(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != 1 || st.Searches == 0 {
+		t.Errorf("post-abort epoch malformed: %+v", st)
+	}
+	if st.SearchFailRate > 0.15 {
+		t.Errorf("post-abort epoch degraded: fail rate %.3f", st.SearchFailRate)
+	}
+}
+
+// TestAdvanceEpochPreCancelled: an already-cancelled context aborts before
+// any work.
+func TestAdvanceEpochPreCancelled(t *testing.T) {
+	s := newTest(t, 256, 0.05)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.AdvanceEpoch(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s.Epoch() != 0 {
+		t.Errorf("epoch advanced to %d", s.Epoch())
+	}
+}
+
+// TestOperationsHonorContext: the keyed operations fail fast on a
+// cancelled context without touching the store.
+func TestOperationsHonorContext(t *testing.T) {
+	s := newTest(t, 256, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Put(ctx, "k", []byte("v")); !errors.Is(err, context.Canceled) {
+		t.Errorf("Put: %v", err)
+	}
+	if _, _, err := s.Get(context.Background(), "k"); !errors.Is(err, ErrNotFound) {
+		t.Error("cancelled Put still stored the value")
+	}
+	if _, err := s.Lookup(ctx, "k"); !errors.Is(err, context.Canceled) {
+		t.Errorf("Lookup: %v", err)
+	}
+	if _, err := s.LookupBatch(ctx, []string{"k"}); !errors.Is(err, context.Canceled) {
+		t.Errorf("LookupBatch: %v", err)
+	}
+}

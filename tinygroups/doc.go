@@ -1,0 +1,63 @@
+// Package tinygroups is the public library surface of the "Tiny Groups
+// Tackle Byzantine Adversaries" reproduction (Jaiyeola, Patron, Saia,
+// Young, Zhou — IPDPS 2018): an ε-robust decentralized system built from
+// proof-of-work-secured groups of size Θ(log log n) instead of the classic
+// Θ(log n).
+//
+// A System exposes the three applications the paper's introduction
+// motivates — a robust key→owner Lookup (secure routing through tiny
+// groups), a replicated Put/Get store over it, and Compute, which runs
+// Byzantine agreement inside the group responsible for a job so each group
+// "simulates a reliable processor" — plus AdvanceEpoch, which turns the
+// whole population over through the §III two-group-graph construction.
+//
+// # Usage
+//
+//	sys, err := tinygroups.New(4096,
+//		tinygroups.WithBeta(0.05),
+//		tinygroups.WithSeed(1),
+//	)
+//	if err != nil { ... }
+//	defer sys.Close()
+//
+//	ctx := context.Background()
+//	info, err := sys.Put(ctx, "alice", []byte("v"))    // typed errors: errors.Is(err, tinygroups.ErrUnreachable)
+//	st, err := sys.AdvanceEpoch(ctx)                   // cancellable mid-construction
+//
+// Construction is parameterized by functional options (WithBeta,
+// WithOverlay, WithWorkers, WithObserver, ...), validated together at New;
+// invalid combinations fail with an error wrapping ErrBadConfig.
+//
+// # Contexts and lifecycle
+//
+// Every operation takes a context. AdvanceEpoch polls it between per-ID
+// construction batches: on cancellation the epoch aborts cleanly (the
+// generation swap never happens) and the System keeps serving the old
+// generation. Close releases the construction worker pool; operations on
+// a closed System fail with ErrClosed.
+//
+// A System is not safe for concurrent use by multiple goroutines; the
+// batch operations (LookupBatch, PutBatch) parallelize internally across
+// the system's persistent worker pool instead.
+//
+// # Observability
+//
+// WithObserver streams telemetry — per-operation search outcomes, epoch
+// construction Stats, PoW minting counts — through the Observer interface.
+// A nil observer (the default) costs nothing: the hot paths stay zero
+// allocations per operation, enforced by AllocsPerRun regression tests.
+//
+// # Determinism
+//
+// Two Systems built with the same options execute identical operation
+// sequences identically: all randomness derives from WithSeed, and worker
+// counts (WithWorkers, batch operations) affect wall-clock only.
+//
+// # Stability
+//
+// This package and tinygroups/scenario are the repository's stable
+// surface: exported symbols are only added, never renamed or removed
+// without a deprecation note, and the checked-in API.txt listing is
+// diffed in CI so any surface change is an explicit, reviewed artifact.
+// Packages under internal/ carry no such guarantee.
+package tinygroups

@@ -1,0 +1,19 @@
+package tinygroups
+
+import "errors"
+
+// The package's error taxonomy. Every error returned by this package
+// wraps (or is) one of these sentinels, so callers branch with errors.Is
+// instead of string matching.
+var (
+	// ErrNotFound is returned by Get for keys never stored.
+	ErrNotFound = errors.New("tinygroups: key not found")
+	// ErrUnreachable is returned when an operation's search path traverses
+	// a red group — the ε-fraction Theorem 3 concedes.
+	ErrUnreachable = errors.New("tinygroups: key unreachable (search path hit a red group)")
+	// ErrBadConfig wraps every construction-time validation failure: out
+	// of range β, unknown overlay, population too small, and so on.
+	ErrBadConfig = errors.New("tinygroups: invalid configuration")
+	// ErrClosed is returned by operations on a System after Close.
+	ErrClosed = errors.New("tinygroups: system closed")
+)

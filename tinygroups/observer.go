@@ -1,0 +1,99 @@
+package tinygroups
+
+// Op names the operation behind a SearchEvent.
+type Op uint8
+
+const (
+	OpLookup Op = iota
+	OpPut
+	OpGet
+	OpCompute
+)
+
+// String returns the operation name.
+func (o Op) String() string {
+	switch o {
+	case OpLookup:
+		return "lookup"
+	case OpPut:
+		return "put"
+	case OpGet:
+		return "get"
+	case OpCompute:
+		return "compute"
+	}
+	return "unknown"
+}
+
+// SearchEvent reports one routed search: the operation that triggered it,
+// its outcome, and its secure-routing cost.
+type SearchEvent struct {
+	Op       Op
+	Key      string
+	OK       bool  // false when the search path hit a red group
+	Owner    Point // suc(h(key)) on success, 0 otherwise
+	Hops     int   // groups traversed
+	Messages int64 // all-to-all message cost
+}
+
+// EpochEvent reports one completed epoch's construction statistics.
+type EpochEvent struct {
+	Stats Stats
+}
+
+// MintEvent reports the PoW minting outcome behind one epoch's generation
+// (Lemma 11): the whole population re-mints, the adversary's computational
+// share yields its ≈βn u.a.r. IDs.
+type MintEvent struct {
+	Epoch  int
+	Minted int // IDs minted for the new generation (the population size)
+	Bad    int // adversary-held IDs among them
+}
+
+// Observer receives system telemetry. Calls are synchronous, on the
+// goroutine running the operation, and always sequential — implementations
+// need no locking but must be fast. Batch operations report their search
+// events in key order after the parallel phase completes. A nil observer
+// disables all of this at zero cost (no event values are built).
+type Observer interface {
+	// ObserveSearch is called once per routed operation (Lookup, Put, Get,
+	// Compute, and each key of a batch).
+	ObserveSearch(SearchEvent)
+	// ObserveEpoch is called after each successful AdvanceEpoch.
+	ObserveEpoch(EpochEvent)
+	// ObserveMint is called after each successful AdvanceEpoch with the
+	// minting telemetry of the generation just built.
+	ObserveMint(MintEvent)
+}
+
+// MultiObserver fans every event out to each observer in order; nil
+// entries are skipped.
+func MultiObserver(obs ...Observer) Observer {
+	kept := make([]Observer, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	return multiObserver(kept)
+}
+
+type multiObserver []Observer
+
+func (m multiObserver) ObserveSearch(e SearchEvent) {
+	for _, o := range m {
+		o.ObserveSearch(e)
+	}
+}
+
+func (m multiObserver) ObserveEpoch(e EpochEvent) {
+	for _, o := range m {
+		o.ObserveEpoch(e)
+	}
+}
+
+func (m multiObserver) ObserveMint(e MintEvent) {
+	for _, o := range m {
+		o.ObserveMint(e)
+	}
+}

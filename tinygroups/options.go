@@ -1,0 +1,131 @@
+package tinygroups
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/overlay"
+)
+
+// Strategy selects how the adversary places the ≈βn u.a.r. IDs that PoW
+// lets it mint (it cannot choose the values — only which subset to inject).
+type Strategy int
+
+const (
+	// Uniform injects all of the adversary's u.a.r. IDs (the baseline).
+	Uniform Strategy = iota
+	// Clustered injects only IDs landing in a contiguous arc.
+	Clustered
+	// NearKey injects the IDs closest to a victim key.
+	NearKey
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string { return adversary.Strategy(s).String() }
+
+// config collects the options of New; the zero value is completed by
+// defaults() before options apply.
+type config struct {
+	n                  int
+	beta               float64
+	overlayName        string
+	strategy           Strategy
+	seed               int64
+	workers            int
+	singleGraph        bool
+	noVerify           bool
+	spamFactor         int
+	midEpochDepartures float64
+	sizeDrift          float64
+	observer           Observer
+}
+
+func defaults(n int) config {
+	// Beta defaults to 0.05 — the paper's "sufficiently small" β for which
+	// the dynamic construction is stable at Θ(log log n) group sizes.
+	return config{n: n, beta: 0.05, overlayName: "chord", strategy: Uniform, seed: 1}
+}
+
+// Option configures a System at construction; options are applied in
+// order and validated together by New.
+type Option func(*config)
+
+// WithBeta sets the adversary's computational-power fraction (must stay
+// below 1/2; realistically ≤ 0.15 for tiny groups at simulable n).
+func WithBeta(beta float64) Option { return func(c *config) { c.beta = beta } }
+
+// WithOverlay selects the input-graph construction: "chord" (default),
+// "debruijn" or "viceroy".
+func WithOverlay(name string) Option { return func(c *config) { c.overlayName = name } }
+
+// WithStrategy sets the adversary's ID-injection strategy.
+func WithStrategy(s Strategy) Option { return func(c *config) { c.strategy = s } }
+
+// WithSeed makes the run deterministic: every random draw the system ever
+// makes derives from this seed.
+func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// WithWorkers caps the construction worker pool shared by AdvanceEpoch
+// and the batch operations; 0 (the default) means GOMAXPROCS. It affects
+// wall-clock only — results are identical at every setting.
+func WithWorkers(workers int) Option { return func(c *config) { c.workers = workers } }
+
+// WithSingleGraph switches to the naive single-group-graph protocol the
+// paper argues against (the E5 ablation): per-step corruption compounds
+// epoch over epoch. The default is the §III two-graph construction.
+func WithSingleGraph() Option { return func(c *config) { c.singleGraph = true } }
+
+// WithVerifyRequests toggles the §III-A request-verification step.
+// Disabling it exposes the state-blowup spam attack of Lemma 10; it is on
+// by default.
+func WithVerifyRequests(on bool) Option { return func(c *config) { c.noVerify = !on } }
+
+// WithSpamFactor sets how many bogus group-membership requests each bad ID
+// issues per epoch (Lemma 10 / E12; default 0).
+func WithSpamFactor(requestsPerBadID int) Option {
+	return func(c *config) { c.spamFactor = requestsPerBadID }
+}
+
+// WithMidEpochDepartures sets the fraction of good IDs that go offline
+// during each epoch after construction (§III churn model; default 0).
+func WithMidEpochDepartures(frac float64) Option {
+	return func(c *config) { c.midEpochDepartures = frac }
+}
+
+// WithSizeDrift oscillates the population by ±frac per epoch (the §III
+// "system size is Θ(n)" remark; default 0 keeps it constant).
+func WithSizeDrift(frac float64) Option { return func(c *config) { c.sizeDrift = frac } }
+
+// WithObserver streams telemetry to obs; see Observer. A nil observer
+// (the default) is free: no events are constructed.
+func WithObserver(obs Observer) Option { return func(c *config) { c.observer = obs } }
+
+// validate checks everything the epoch layer does not, wrapping each
+// failure in ErrBadConfig.
+func (c *config) validate() error {
+	if c.n < 8 {
+		return fmt.Errorf("%w: population n = %d too small (need ≥ 8)", ErrBadConfig, c.n)
+	}
+	known := false
+	names := make([]string, 0, 4)
+	for _, b := range overlay.Builders() {
+		names = append(names, b.Name)
+		known = known || b.Name == c.overlayName
+	}
+	if !known {
+		return fmt.Errorf("%w: unknown overlay %q (have %v)", ErrBadConfig, c.overlayName, names)
+	}
+	if c.strategy < Uniform || c.strategy > NearKey {
+		return fmt.Errorf("%w: unknown strategy %d", ErrBadConfig, int(c.strategy))
+	}
+	if c.spamFactor < 0 {
+		return fmt.Errorf("%w: negative spam factor %d", ErrBadConfig, c.spamFactor)
+	}
+	if c.midEpochDepartures < 0 || c.midEpochDepartures >= 1 {
+		return fmt.Errorf("%w: mid-epoch departure fraction %v outside [0, 1)", ErrBadConfig, c.midEpochDepartures)
+	}
+	if c.sizeDrift < 0 || c.sizeDrift >= 1 {
+		return fmt.Errorf("%w: size drift %v outside [0, 1)", ErrBadConfig, c.sizeDrift)
+	}
+	return nil
+}

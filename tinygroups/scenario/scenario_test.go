@@ -1,0 +1,135 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestDefaultRegistryHasAllExperiments(t *testing.T) {
+	reg := Default()
+	list := reg.List()
+	if len(list) != 20 {
+		t.Fatalf("default registry has %d scenarios, want 20", len(list))
+	}
+	if list[0].ID != "e1" || list[19].ID != "e20" {
+		t.Errorf("registration order broken: first %s, last %s", list[0].ID, list[19].ID)
+	}
+	for _, s := range list {
+		got, ok := reg.Lookup(s.ID)
+		if !ok || got.ID != s.ID || got.Title == "" {
+			t.Errorf("Lookup(%q) failed", s.ID)
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndEmpty(t *testing.T) {
+	reg := NewRegistry()
+	stream := func(context.Context, Options, Handler) error { return nil }
+	if err := reg.Register(Scenario{ID: "x", Title: "t", Stream: stream}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(Scenario{ID: "x", Title: "again", Stream: stream}); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+	if err := reg.Register(Scenario{Stream: stream}); err == nil {
+		t.Error("empty ID accepted")
+	}
+	if err := reg.Register(Scenario{ID: "y"}); err == nil {
+		t.Error("nil Stream accepted")
+	}
+}
+
+func TestRunUnknownScenario(t *testing.T) {
+	err := Default().Run(context.Background(), "e99", Options{}, HandlerFuncs{})
+	if !errors.Is(err, ErrUnknownScenario) {
+		t.Errorf("err = %v, want ErrUnknownScenario", err)
+	}
+}
+
+// TestRunStreamsRows drives a cheap real scenario end to end through the
+// public streaming surface.
+func TestRunStreamsRows(t *testing.T) {
+	var header []string
+	rows, notes := 0, 0
+	err := Default().Run(context.Background(), "e13", Options{Quick: true, Seed: 1}, HandlerFuncs{
+		OnHeader: func(cols []string) { header = append([]string(nil), cols...) },
+		OnRow:    func([]string) { rows++ },
+		OnNote:   func(string) { notes++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(header) == 0 || header[0] != "|G|" {
+		t.Errorf("header = %v", header)
+	}
+	if rows != 6 || notes == 0 {
+		t.Errorf("rows = %d (want 6), notes = %d (want > 0)", rows, notes)
+	}
+}
+
+// TestRunCancellationStopsStream cancels an epoch-chained scenario after
+// its first row: the stream must stop early with the context error.
+func TestRunCancellationStopsStream(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rows := 0
+	err := Default().Run(ctx, "e4", Options{Quick: true, Seed: 1}, HandlerFuncs{
+		OnRow: func([]string) { rows++; cancel() },
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rows != 1 {
+		t.Errorf("stream emitted %d rows after cancellation, want 1", rows)
+	}
+}
+
+// TestRenderMatchesExperimentTable: the buffered Render output equals the
+// aligned table of the underlying experiment plus its notes.
+func TestRenderMatchesExperimentTable(t *testing.T) {
+	var b strings.Builder
+	if err := Default().Render(context.Background(), "e13", Options{Quick: true, Seed: 1}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "behavior") {
+		t.Errorf("rendered table missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "note: ") {
+		t.Errorf("rendered output missing notes:\n%s", out)
+	}
+	// Streaming and buffered forms must agree row for row.
+	var streamed [][]string
+	if err := Default().Run(context.Background(), "e13", Options{Quick: true, Seed: 1}, HandlerFuncs{
+		OnRow: func(cells []string) { streamed = append(streamed, append([]string(nil), cells...)) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range streamed {
+		for _, cell := range row {
+			if !strings.Contains(out, cell) {
+				t.Fatalf("rendered output missing streamed cell %q", cell)
+			}
+		}
+	}
+}
+
+// TestZeroValueRegistry: the zero value must be usable, not panic.
+func TestZeroValueRegistry(t *testing.T) {
+	var reg Registry
+	if _, ok := reg.Lookup("x"); ok {
+		t.Error("empty registry resolved an ID")
+	}
+	if err := reg.Run(context.Background(), "x", Options{}, HandlerFuncs{}); !errors.Is(err, ErrUnknownScenario) {
+		t.Errorf("Run on empty registry: %v", err)
+	}
+	if err := reg.Register(Scenario{ID: "x", Title: "t",
+		Stream: func(context.Context, Options, Handler) error { return nil }}); err != nil {
+		t.Fatalf("Register on zero value: %v", err)
+	}
+	if _, ok := reg.Lookup("x"); !ok {
+		t.Error("registered scenario not found")
+	}
+}

@@ -1,0 +1,335 @@
+package tinygroups
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/adversary"
+	"repro/internal/ba"
+	"repro/internal/epoch"
+	"repro/internal/groups"
+	"repro/internal/hashes"
+	"repro/internal/ring"
+)
+
+// Point is a location in the system's circular ID space [0,1), encoded as
+// a 64-bit fixed-point value (the paper's hash-range convention).
+type Point uint64
+
+// keyHash maps application keys into the ID space (the "globally-known
+// hash function" applied to resource names, Appendix VI).
+var keyHash = hashes.NewFunc("tinygroups.key")
+
+// KeyPoint returns the ID-space point a key hashes to.
+func KeyPoint(key string) Point { return Point(keyHash.PointString(key)) }
+
+// LookupInfo describes one routed lookup.
+type LookupInfo struct {
+	Owner    Point // suc(h(key)): the ID responsible for the key
+	Hops     int   // groups traversed
+	Messages int64 // secure-routing message cost (all-to-all per hop)
+}
+
+// Stats reports one epoch's construction outcome (the public mirror of
+// the epoch layer's statistics; see AdvanceEpoch).
+type Stats struct {
+	Epoch int
+	// N is the population size of the generation built this epoch
+	// (differs from the configured n only under WithSizeDrift).
+	N int
+	// QfSingle / QfDual are the measured failure probabilities of a single
+	// old-graph search and of the both-graphs-fail event (≈ q_f and q_f²).
+	QfSingle, QfDual float64
+	// RedFraction is the red-group fraction of each new graph.
+	RedFraction [2]float64
+	// SearchFailRate is the post-construction search failure rate.
+	SearchFailRate float64
+	// ForcedBadMembers counts member slots the adversary captured because
+	// both location searches failed.
+	ForcedBadMembers int
+	// ErroneousRejects counts good IDs that wrongly rejected a valid
+	// membership/neighbor request.
+	ErroneousRejects int
+	// SpamAccepted counts bogus requests that slipped past verification.
+	SpamAccepted int
+	// MeanMemberships is the mean number of groups a good serving ID
+	// belongs to (Lemma 10: O(log log n)).
+	MeanMemberships float64
+	// DepartedMembers / MajoritiesLost report mid-epoch departure erosion.
+	DepartedMembers int
+	MajoritiesLost  int
+	// SearchMessages / Searches total the construction's secure-routing
+	// message cost and search count.
+	SearchMessages int64
+	Searches       int64
+}
+
+func statsFrom(st epoch.Stats) Stats {
+	return Stats{
+		Epoch:            st.Epoch,
+		N:                st.N,
+		QfSingle:         st.QfSingle,
+		QfDual:           st.QfDual,
+		RedFraction:      st.RedFraction,
+		SearchFailRate:   st.SearchFailRate,
+		ForcedBadMembers: st.ForcedBadMembers,
+		ErroneousRejects: st.ErroneousRejects,
+		SpamAccepted:     st.SpamAccepted,
+		MeanMemberships:  st.MeanMemberships,
+		DepartedMembers:  st.DepartedMembers,
+		MajoritiesLost:   st.MajoritiesLost,
+		SearchMessages:   st.SearchMessages,
+		Searches:         st.Searches,
+	}
+}
+
+// Robustness aggregates the ε-robustness measurements of Theorem 3.
+type Robustness struct {
+	N              int
+	GroupSize      int
+	RedFraction    float64 // fraction of red groups (1 − first bullet of Thm 3)
+	SearchFailRate float64 // fraction of failed searches (1 − second bullet)
+	MeanRouteLen   float64 // groups traversed per successful search
+	MeanMessages   float64 // messages per search (secure-routing cost)
+	Samples        int
+}
+
+// ComputeResult reports one group-simulated computation (BA execution).
+type ComputeResult struct {
+	Group    Point // leader of the executing group
+	Correct  bool  // the group was good and agreement held on the input
+	Agreed   bool  // honest members agreed (vacuous in a bad group)
+	Value    int
+	Messages int64
+}
+
+// System is a running ε-robust deployment: a dynamic two-group-graph
+// construction plus a replicated store keyed into its ID space. Create
+// one with New, release it with Close. A System is not safe for
+// concurrent use; batch operations parallelize internally.
+type System struct {
+	cfg config
+	dyn *epoch.System
+	rng *rand.Rand
+	// store replicates values at the group of each key's owner. Values
+	// survive churn (they are re-homed when the ring turns over, exactly
+	// like resources in a DHT).
+	store map[string][]byte
+	// sc backs the sequential operations' path-free searches; batchSc
+	// holds one scratch per pool worker for the batch operations.
+	sc      groups.SearchScratch
+	batchSc []groups.SearchScratch
+	closed  bool
+}
+
+// New builds a System of n IDs with trusted initialization (Appendix X)
+// and the paper's two-group-graph dynamics, configured by opts. Invalid
+// configurations fail with an error wrapping ErrBadConfig.
+func New(n int, opts ...Option) (*System, error) {
+	c := defaults(n)
+	for _, opt := range opts {
+		opt(&c)
+	}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	ecfg := epoch.DefaultConfig(c.n)
+	ecfg.Params.Beta = c.beta
+	ecfg.Overlay = c.overlayName
+	ecfg.Strategy = adversary.Strategy(c.strategy)
+	ecfg.Seed = c.seed
+	ecfg.Workers = c.workers
+	ecfg.TwoGraphs = !c.singleGraph
+	ecfg.VerifyRequests = !c.noVerify
+	ecfg.SpamFactor = c.spamFactor
+	ecfg.MidEpochDepartures = c.midEpochDepartures
+	ecfg.SizeDrift = c.sizeDrift
+	if err := ecfg.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	dyn, err := epoch.New(ecfg)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	return &System{
+		cfg:   c,
+		dyn:   dyn,
+		rng:   rand.New(rand.NewSource(c.seed + 0x5eed)),
+		store: make(map[string][]byte),
+	}, nil
+}
+
+// Close releases the system's construction worker pool. It is idempotent;
+// every other operation on a closed System fails with ErrClosed.
+func (s *System) Close() error {
+	if !s.closed {
+		s.closed = true
+		s.dyn.Close()
+	}
+	return nil
+}
+
+// N returns the configured system size.
+func (s *System) N() int { return s.cfg.n }
+
+// Epoch returns the current epoch index.
+func (s *System) Epoch() int { return s.dyn.Epoch() }
+
+// GroupSize returns the tiny-group size Θ(log log n) in force.
+func (s *System) GroupSize() int { return s.dyn.Graphs()[0].GroupSize() }
+
+// observeSearch forwards one search outcome to the observer, if any.
+func (s *System) observeSearch(op Op, key string, ok bool, owner Point, hops int, msgs int64) {
+	if s.cfg.observer == nil {
+		return
+	}
+	s.cfg.observer.ObserveSearch(SearchEvent{
+		Op: op, Key: key, OK: ok, Owner: owner, Hops: hops, Messages: msgs,
+	})
+}
+
+// lookup routes from a u.a.r. ID to the owner of key through the group
+// graph — the zero-allocation core of every keyed operation.
+func (s *System) lookup(ctx context.Context, op Op, key string) (LookupInfo, error) {
+	if s.closed {
+		return LookupInfo{}, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return LookupInfo{}, err
+	}
+	g := s.dyn.Graphs()[0]
+	r := g.Overlay().Ring()
+	src := r.At(s.rng.Intn(r.Len()))
+	p := keyHash.PointString(key)
+	res := g.SearchOutcome(src, p, &s.sc)
+	info := LookupInfo{Hops: res.Hops, Messages: res.Messages}
+	if !res.OK {
+		s.observeSearch(op, key, false, 0, res.Hops, res.Messages)
+		return info, ErrUnreachable
+	}
+	oi := res.LastRank
+	if oi < 0 {
+		oi = r.SuccessorIndex(p)
+	}
+	info.Owner = Point(r.At(oi))
+	s.observeSearch(op, key, true, info.Owner, res.Hops, res.Messages)
+	return info, nil
+}
+
+// Lookup routes from a u.a.r. ID to the owner of key through the group
+// graph. It fails with ErrUnreachable when the search path traverses a
+// red group (the ε-fraction Theorem 3 concedes).
+func (s *System) Lookup(ctx context.Context, key string) (LookupInfo, error) {
+	return s.lookup(ctx, OpLookup, key)
+}
+
+// Put stores a value under key at the owner group (replicated across its
+// members). It fails if the owner cannot be reached securely.
+func (s *System) Put(ctx context.Context, key string, value []byte) (LookupInfo, error) {
+	info, err := s.lookup(ctx, OpPut, key)
+	if err != nil {
+		return info, err
+	}
+	v := make([]byte, len(value))
+	copy(v, value)
+	s.store[key] = v
+	return info, nil
+}
+
+// Get retrieves a value. It fails with ErrUnreachable if the route is
+// insecure, or with ErrNotFound if the key was never stored.
+func (s *System) Get(ctx context.Context, key string) ([]byte, LookupInfo, error) {
+	info, err := s.lookup(ctx, OpGet, key)
+	if err != nil {
+		return nil, info, err
+	}
+	v, ok := s.store[key]
+	if !ok {
+		return nil, info, ErrNotFound
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, info, nil
+}
+
+// Compute runs the job identified by jobKey on the group responsible for
+// it: the members execute phase-king Byzantine agreement on the job's
+// input bit. A good group always computes correctly (the paper's
+// "reliable processor"); a bad group may not.
+func (s *System) Compute(ctx context.Context, jobKey string, input int) (ComputeResult, error) {
+	info, err := s.lookup(ctx, OpCompute, jobKey)
+	if err != nil {
+		return ComputeResult{}, err
+	}
+	g := s.dyn.Graphs()[0]
+	grp := g.Group(ring.Point(info.Owner))
+	if grp == nil {
+		return ComputeResult{}, fmt.Errorf("tinygroups: owner %v leads no group", info.Owner)
+	}
+	n := grp.Size()
+	tFaults := (n - 1) / 4
+	byz := map[int]bool{}
+	for i, m := range grp.Members {
+		if m.Bad {
+			byz[i] = true
+		}
+	}
+	prefs := make([]int, n)
+	for i := range prefs {
+		prefs[i] = input
+	}
+	res := ba.Run(n, tFaults, prefs, byz, "equivocate")
+	out := ComputeResult{
+		Group:    info.Owner,
+		Agreed:   res.Agreed,
+		Value:    res.Value,
+		Messages: res.Messages + info.Messages,
+	}
+	// Correct = the group is good (bad ≤ t) and honest members agreed on
+	// the submitted input.
+	out.Correct = !grp.Red() && len(byz) <= tFaults && res.Agreed && res.Value == input
+	return out, nil
+}
+
+// AdvanceEpoch turns the population over through the §III two-graph
+// construction and returns the epoch's construction statistics. Stored
+// values persist (they re-home to the new owners).
+//
+// ctx is polled between per-ID construction batches: on cancellation the
+// epoch aborts cleanly — the returned error wraps ctx.Err(), the
+// generation swap never happens, and the System keeps serving the old
+// generation.
+func (s *System) AdvanceEpoch(ctx context.Context) (Stats, error) {
+	if s.closed {
+		return Stats{}, ErrClosed
+	}
+	est, err := s.dyn.RunEpochContext(ctx)
+	if err != nil {
+		return Stats{}, fmt.Errorf("tinygroups: epoch %d aborted: %w", s.dyn.Epoch()+1, err)
+	}
+	st := statsFrom(est)
+	if obs := s.cfg.observer; obs != nil {
+		obs.ObserveMint(MintEvent{Epoch: st.Epoch, Minted: st.N, Bad: s.dyn.BadCount()})
+		obs.ObserveEpoch(EpochEvent{Stats: st})
+	}
+	return st, nil
+}
+
+// Robustness measures Theorem 3's two bullets on the current graphs over
+// the given number of sampled searches.
+func (s *System) Robustness(samples int) (Robustness, error) {
+	if s.closed {
+		return Robustness{}, ErrClosed
+	}
+	rob := s.dyn.Graphs()[0].MeasureRobustness(samples, s.rng)
+	return Robustness{
+		N:              rob.N,
+		GroupSize:      rob.GroupSize,
+		RedFraction:    rob.RedFraction,
+		SearchFailRate: rob.SearchFailRate,
+		MeanRouteLen:   rob.MeanRouteLen,
+		MeanMessages:   rob.MeanMessages,
+		Samples:        rob.Samples,
+	}, nil
+}
