@@ -14,10 +14,17 @@ HOTPATH_BENCH = BenchmarkRingSuccessor|BenchmarkHashPoint|BenchmarkHashOfPoint|B
 EPOCH_BENCH = BenchmarkRunEpoch|BenchmarkRunEpochParallel|BenchmarkEpochSweep
 
 # The packages whose exported surface is pinned in API.txt and guarded in
-# CI (make apicheck). Everything under internal/ is explicitly unstable.
-API_PKGS = ./tinygroups ./tinygroups/scenario
+# CI (make apicheck), and whose exported symbols must all carry doc
+# comments (make doclint). Everything under internal/ is explicitly
+# unstable.
+API_PKGS = ./tinygroups ./tinygroups/scenario ./tinygroups/loadgen
 
-.PHONY: build test bench bench-json lint api apicheck smoke-examples ci
+# The daemon/loadgen pair used by serve-smoke and bench-service. Override
+# SERVE_PORT if 8477 is taken locally.
+SERVE_PORT ?= 8477
+SERVE_ADDR = 127.0.0.1:$(SERVE_PORT)
+
+.PHONY: build test bench bench-json bench-service lint doclint api apicheck smoke-examples serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -48,6 +55,11 @@ lint:
 		echo "files need gofmt:"; echo "$$out"; exit 1; \
 	fi
 
+# doclint fails when any exported symbol of the stable packages lacks a
+# doc comment — the guard that keeps the godoc pass from regressing.
+doclint:
+	$(GO) run ./cmd/doclint $(API_PKGS)
+
 # api regenerates the checked-in export listing of the stable packages.
 # Run it (and review the diff) whenever the public surface changes.
 api:
@@ -71,4 +83,36 @@ smoke-examples:
 		echo "== $$d"; $(GO) run "./$$d" > /dev/null; \
 	done
 
-ci: build lint apicheck test smoke-examples bench
+# serve-smoke gates the daemon's full lifecycle: boot, answer /healthz,
+# serve real traffic from loadgen, then drain cleanly on SIGTERM (the
+# daemon's exit status is the assertion — a botched drain exits non-zero).
+serve-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/tinygroupsd" ./cmd/tinygroupsd; \
+	$(GO) build -o "$$tmp/loadgen" ./cmd/loadgen; \
+	"$$tmp/tinygroupsd" -addr $(SERVE_ADDR) -n 512 -epoch-interval 250ms & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	"$$tmp/loadgen" -addr http://$(SERVE_ADDR) -ops 64 -concurrency 2 -keys 64 -advance-every 32 -out - > /dev/null; \
+	kill -TERM $$pid; \
+	wait $$pid; \
+	echo "serve-smoke: clean daemon exit"
+
+# bench-service records the serving layer's measured service level
+# (throughput + latency quantiles per workload) as the committed
+# BENCH_service.json — the service-side sibling of bench-json. Compare
+# against the committed file before merging serving-path changes;
+# latencies are machine-sensitive, so judge shape, not nanoseconds.
+bench-service:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/tinygroupsd" ./cmd/tinygroupsd; \
+	$(GO) build -o "$$tmp/loadgen" ./cmd/loadgen; \
+	"$$tmp/tinygroupsd" -addr $(SERVE_ADDR) -n 2048 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	"$$tmp/loadgen" -addr http://$(SERVE_ADDR) -ops 2000 -concurrency 4 -keys 512 -out BENCH_service.json; \
+	kill -TERM $$pid; \
+	wait $$pid; \
+	echo "wrote BENCH_service.json"
+
+ci: build lint doclint apicheck test smoke-examples serve-smoke bench

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writePkg materializes a one-file package in a temp dir and returns the
+// dir.
+func writePkg(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestDoclintFindings(t *testing.T) {
+	dir := writePkg(t, `package p
+
+func Undocumented() {}
+
+type AlsoUndocumented struct{}
+
+// Documented is fine.
+func Documented() {}
+
+// unexported needs nothing.
+func unexported() {}
+
+const Loose = 1
+`)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{dir}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"no package comment", "Undocumented", "AlsoUndocumented", "Loose",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("findings missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Documented is fine") || strings.Contains(out, "unexported") {
+		t.Errorf("false positive:\n%s", out)
+	}
+}
+
+func TestDoclintCleanPackage(t *testing.T) {
+	dir := writePkg(t, `// Package p is documented.
+package p
+
+// Kind is documented.
+type Kind int
+
+// The kinds, documented as a block.
+const (
+	A Kind = iota
+	B
+)
+
+// F is documented.
+func F() {}
+
+// M is documented.
+func (Kind) M() {}
+
+// internal methods need nothing.
+type hidden int
+
+func (hidden) m() {}
+`)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0\nfindings:\n%s", code, stdout.String())
+	}
+}
+
+func TestDoclintUsageAndErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("no-args exit = %d, want 2", code)
+	}
+	if code := run([]string{filepath.Join(t.TempDir(), "missing")}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad-dir exit = %d, want 2", code)
+	}
+}

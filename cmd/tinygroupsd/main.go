@@ -1,0 +1,122 @@
+// Command tinygroupsd serves a tinygroups.System over HTTP/JSON — the
+// long-lived process that owns epoch advancement while a fleet of clients
+// reads through the API surface.
+//
+// Usage:
+//
+//	tinygroupsd [-addr HOST:PORT] [-n N] [-beta B] [-overlay NAME]
+//	            [-seed S] [-workers W] [-epoch-interval D]
+//	            [-max-batch K] [-queue Q]
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/lookup         {"key":K}            route to the owner of K
+//	POST /v1/put            {"key":K,"value":V}  store V (base64) under K
+//	GET  /v1/get?key=K                           fetch the stored value
+//	POST /v1/compute        {"key":K,"input":I}  BA inside the owner group
+//	POST /v1/epoch/advance                       one §III population turnover
+//	GET  /healthz                                liveness + current epoch
+//	GET  /metrics                                request/batch/epoch counters
+//
+// Concurrent lookups and puts are coalesced through a bounded batching
+// queue into pool-amortized LookupBatch/PutBatch calls (see
+// internal/serve). SIGINT/SIGTERM trigger a graceful shutdown: the
+// listener stops accepting, in-flight requests drain, a mid-construction
+// epoch aborts cooperatively, and the system closes. A clean drain exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/tinygroups"
+)
+
+// shutdownTimeout bounds the drain on SIGTERM; a healthy server drains in
+// milliseconds, so hitting this means something is wedged.
+const shutdownTimeout = 30 * time.Second
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stderr))
+}
+
+// run parses flags, builds the system and serves until ctx cancels (the
+// signal path) or the listener fails. It returns the process exit code.
+// All logging funnels through one log.Logger: the epoch ticker and the
+// listener goroutine log concurrently with the main goroutine, and the
+// logger's internal mutex is what keeps those writes serialized.
+func run(ctx context.Context, args []string, stderr io.Writer) int {
+	lg := log.New(stderr, "", 0)
+	fs := flag.NewFlagSet("tinygroupsd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8477", "listen address")
+	n := fs.Int("n", 2048, "population size of the served system")
+	beta := fs.Float64("beta", 0.05, "adversary's computational-power fraction")
+	overlay := fs.String("overlay", "chord", "input graph: chord | debruijn | viceroy")
+	seed := fs.Int64("seed", 1, "root seed; the served system is fully deterministic per seed")
+	workers := fs.Int("workers", 0, "construction/batch worker pool size (0 = GOMAXPROCS)")
+	epochEvery := fs.Duration("epoch-interval", 0, "advance the epoch on this period in the background (0 = only via /v1/epoch/advance)")
+	maxBatch := fs.Int("max-batch", 256, "max queued lookups (or puts) coalesced into one batch call")
+	queueCap := fs.Int("queue", 1024, "bounded request queue capacity; a full queue answers 429")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if len(fs.Args()) != 0 {
+		lg.Printf("tinygroupsd: unexpected arguments %v", fs.Args())
+		return 2
+	}
+
+	sys, err := tinygroups.New(*n,
+		tinygroups.WithBeta(*beta),
+		tinygroups.WithOverlay(*overlay),
+		tinygroups.WithSeed(*seed),
+		tinygroups.WithWorkers(*workers),
+	)
+	if err != nil {
+		lg.Printf("tinygroupsd: %v", err)
+		return 2
+	}
+
+	logf := lg.Printf
+	srv := serve.New(sys, serve.Config{
+		MaxBatch:   *maxBatch,
+		QueueCap:   *queueCap,
+		EpochEvery: *epochEvery,
+		Logf:       logf,
+	})
+	logf("tinygroupsd: n=%d beta=%v overlay=%s seed=%d workers=%d epoch-interval=%s",
+		*n, *beta, *overlay, *seed, *workers, *epochEvery)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+
+	select {
+	case err := <-errc:
+		// The listener failed before any signal — bad address, port in use.
+		lg.Printf("tinygroupsd: serve: %v", err)
+		return 1
+	case <-ctx.Done():
+	}
+	logf("tinygroupsd: signal received, draining")
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		lg.Printf("tinygroupsd: shutdown: %v", err)
+		return 1
+	}
+	if err := <-errc; err != nil {
+		lg.Printf("tinygroupsd: serve: %v", err)
+		return 1
+	}
+	logf("tinygroupsd: clean exit")
+	return 0
+}

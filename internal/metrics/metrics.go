@@ -57,6 +57,25 @@ func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
 func (s *Summary) Min() float64 { return s.min }
 func (s *Summary) Max() float64 { return s.max }
 
+// Merge folds every observation of o into s, as if each had been Added
+// directly — the reduction step for per-worker summaries (the load
+// driver's latency recorders merge this way after the run).
+func (s *Summary) Merge(o *Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 || o.min < s.min {
+		s.min = o.min
+	}
+	if s.n == 0 || o.max > s.max {
+		s.max = o.max
+	}
+	s.n += o.n
+	s.sum += o.sum
+	s.sq += o.sq
+	s.vals = append(s.vals, o.vals...)
+}
+
 // Quantile returns the q-th empirical quantile, q ∈ [0,1], by nearest-rank.
 func (s *Summary) Quantile(q float64) float64 {
 	if s.n == 0 {

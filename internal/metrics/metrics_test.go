@@ -91,3 +91,41 @@ func TestTableRendering(t *testing.T) {
 		t.Errorf("table has %d lines, want 4", len(lines))
 	}
 }
+
+func TestSummaryMerge(t *testing.T) {
+	// Merging per-worker summaries must equal one summary fed every value.
+	var whole, a, b, empty Summary
+	vals := []float64{5, 1, 3, 9, 2, 8, 4, 7, 6, 0}
+	for i, v := range vals {
+		whole.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	var merged Summary
+	merged.Merge(&a)
+	merged.Merge(&b)
+	merged.Merge(&empty) // merging nothing changes nothing
+	if merged.N() != whole.N() {
+		t.Fatalf("N = %d, want %d", merged.N(), whole.N())
+	}
+	if merged.Mean() != whole.Mean() || merged.Var() != whole.Var() {
+		t.Fatalf("mean/var = %v/%v, want %v/%v", merged.Mean(), merged.Var(), whole.Mean(), whole.Var())
+	}
+	if merged.Min() != 0 || merged.Max() != 9 {
+		t.Fatalf("min/max = %v/%v, want 0/9", merged.Min(), merged.Max())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if merged.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("quantile %v = %v, want %v", q, merged.Quantile(q), whole.Quantile(q))
+		}
+	}
+	// An empty receiver adopts the other side's extremes.
+	var fresh Summary
+	fresh.Merge(&a)
+	if fresh.Min() != a.Min() || fresh.Max() != a.Max() || fresh.N() != a.N() {
+		t.Fatalf("empty-receiver merge broken: %v/%v/%d", fresh.Min(), fresh.Max(), fresh.N())
+	}
+}

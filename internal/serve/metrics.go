@@ -1,0 +1,79 @@
+package serve
+
+import "sync/atomic"
+
+// counters is the server's telemetry: request counts per endpoint, error
+// counts by class, and the batching statistics that show how well the
+// queue is coalescing. All fields are atomics — handlers and the
+// dispatcher update them concurrently — and /metrics serves a consistent
+// enough snapshot for operations (individual counters are exact; cross-
+// counter skew of a few in-flight requests is fine).
+type counters struct {
+	lookups, puts, gets, computes, advances, health atomic.Int64
+	errors4xx, errors5xx                            atomic.Int64
+	queueRejects                                    atomic.Int64
+	epochsAdvanced                                  atomic.Int64
+
+	lookupBatches, lookupBatchedOps atomic.Int64
+	putBatches, putBatchedOps       atomic.Int64
+}
+
+// MetricsSnapshot is the /metrics JSON document.
+type MetricsSnapshot struct {
+	Epoch   int64   `json:"epoch"`
+	UptimeS float64 `json:"uptime_s"`
+
+	Requests struct {
+		Lookup  int64 `json:"lookup"`
+		Put     int64 `json:"put"`
+		Get     int64 `json:"get"`
+		Compute int64 `json:"compute"`
+		Advance int64 `json:"advance"`
+		Health  int64 `json:"health"`
+	} `json:"requests"`
+
+	Errors struct {
+		Client int64 `json:"client_4xx"`
+		Server int64 `json:"server_5xx"`
+	} `json:"errors"`
+
+	// Batch reports the coalescing effectiveness of the request queue:
+	// ops/calls is the mean batch size the concurrent load achieved.
+	Batch struct {
+		LookupCalls int64   `json:"lookup_calls"`
+		LookupOps   int64   `json:"lookup_ops"`
+		PutCalls    int64   `json:"put_calls"`
+		PutOps      int64   `json:"put_ops"`
+		MeanLookup  float64 `json:"mean_lookup_batch"`
+		MeanPut     float64 `json:"mean_put_batch"`
+	} `json:"batch"`
+
+	QueueRejects   int64 `json:"queue_rejects"`
+	EpochsAdvanced int64 `json:"epochs_advanced"`
+}
+
+// snapshot materializes the counters into the /metrics document.
+func (c *counters) snapshot() MetricsSnapshot {
+	var s MetricsSnapshot
+	s.Requests.Lookup = c.lookups.Load()
+	s.Requests.Put = c.puts.Load()
+	s.Requests.Get = c.gets.Load()
+	s.Requests.Compute = c.computes.Load()
+	s.Requests.Advance = c.advances.Load()
+	s.Requests.Health = c.health.Load()
+	s.Errors.Client = c.errors4xx.Load()
+	s.Errors.Server = c.errors5xx.Load()
+	s.Batch.LookupCalls = c.lookupBatches.Load()
+	s.Batch.LookupOps = c.lookupBatchedOps.Load()
+	s.Batch.PutCalls = c.putBatches.Load()
+	s.Batch.PutOps = c.putBatchedOps.Load()
+	if s.Batch.LookupCalls > 0 {
+		s.Batch.MeanLookup = float64(s.Batch.LookupOps) / float64(s.Batch.LookupCalls)
+	}
+	if s.Batch.PutCalls > 0 {
+		s.Batch.MeanPut = float64(s.Batch.PutOps) / float64(s.Batch.PutCalls)
+	}
+	s.QueueRejects = c.queueRejects.Load()
+	s.EpochsAdvanced = c.epochsAdvanced.Load()
+	return s
+}

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/tinygroups"
+)
+
+// batchGate holds the dispatcher's first flush open so tests can stage a
+// deterministic batch shape: whatever is enqueued while the gate is held
+// coalesces into one batch after release.
+type batchGate struct {
+	gate    chan struct{}
+	entered chan struct{}
+	first   bool
+}
+
+func newBatchGate() *batchGate {
+	return &batchGate{gate: make(chan struct{}), entered: make(chan struct{}, 1), first: true}
+}
+
+// config returns a Config whose first flush blocks until release. The
+// hook runs on the dispatcher goroutine only, so first needs no lock.
+func (g *batchGate) config() Config {
+	return Config{hookBeforeBatch: func() {
+		if g.first {
+			g.first = false
+			g.entered <- struct{}{}
+			<-g.gate
+		}
+	}}
+}
+
+func (g *batchGate) release() { close(g.gate) }
+
+// stageBatch pushes keys through the batching queue with a deterministic
+// shape: the first key flushes alone (held at the gate until the rest are
+// queued), then the remainder coalesce into a single second batch in
+// enqueue order. It returns the per-key lookup results in key order.
+//
+// Pinning the batch boundaries like this matters because LookupBatch draws
+// one root seed per *call* from the system rng: identical batch shapes are
+// what make two servers' results comparable byte for byte.
+func stageBatch(t *testing.T, s *Server, g *batchGate, keys []string) []tinygroups.BatchResult {
+	t.Helper()
+	reqs := make([]*request, len(keys))
+	for i, k := range keys {
+		reqs[i] = &request{kind: kindLookup, key: k, done: make(chan tinygroups.BatchResult, 1)}
+	}
+	if err := s.enqueue(reqs[0]); err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	<-g.entered
+	for _, r := range reqs[1:] {
+		if err := s.enqueue(r); err != nil {
+			t.Fatalf("enqueue: %v", err)
+		}
+	}
+	g.release()
+	out := make([]tinygroups.BatchResult, len(keys))
+	for i, r := range reqs {
+		out[i] = <-r.done
+	}
+	return out
+}
+
+// TestBatchCoalescing checks the queue actually coalesces: K keys staged
+// behind a held dispatcher flush as exactly two batch calls (the held
+// first single, then the K−1 others in one LookupBatch), with every op
+// accounted for.
+func TestBatchCoalescing(t *testing.T) {
+	g := newBatchGate()
+	s := newTestServer(t, g.config())
+	keys := make([]string, 16)
+	for i := range keys {
+		keys[i] = "coalesce-" + string(rune('a'+i))
+	}
+	res := stageBatch(t, s, g, keys)
+	for i, r := range res {
+		if r.Err != nil && r.Err != tinygroups.ErrUnreachable {
+			t.Fatalf("key %d: unexpected error %v", i, r.Err)
+		}
+	}
+	if calls := s.m.lookupBatches.Load(); calls != 2 {
+		t.Fatalf("lookup batch calls = %d, want 2 (1 held + 1 coalesced)", calls)
+	}
+	if ops := s.m.lookupBatchedOps.Load(); ops != int64(len(keys)) {
+		t.Fatalf("batched ops = %d, want %d", ops, len(keys))
+	}
+}
+
+// TestBatchWorkerCountInvariance is the serving-layer half of the
+// determinism contract: the same key sequence, staged into the same batch
+// shape, produces byte-identical results whether the underlying System
+// fans batches across 1 worker or 4. This is what lets operators resize
+// the pool without changing a single served byte.
+func TestBatchWorkerCountInvariance(t *testing.T) {
+	keys := make([]string, 24)
+	for i := range keys {
+		keys[i] = "inv-" + string(rune('a'+i))
+	}
+	marshal := func(res []tinygroups.BatchResult) string {
+		type row struct {
+			Owner string `json:"owner"`
+			Hops  int    `json:"hops"`
+			Msgs  int64  `json:"messages"`
+			Err   string `json:"err,omitempty"`
+		}
+		rows := make([]row, len(res))
+		for i, r := range res {
+			rows[i] = row{Owner: pointHex(r.Info.Owner), Hops: r.Info.Hops, Msgs: r.Info.Messages}
+			if r.Err != nil {
+				rows[i].Err = r.Err.Error()
+			}
+		}
+		b, err := json.Marshal(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	var got [2]string
+	for i, workers := range []int{1, 4} {
+		g := newBatchGate()
+		s := newTestServer(t, g.config(), tinygroups.WithWorkers(workers))
+		got[i] = marshal(stageBatch(t, s, g, keys))
+	}
+	if got[0] != got[1] {
+		t.Fatalf("batched lookup results differ across worker counts:\n 1: %s\n 4: %s", got[0], got[1])
+	}
+}
+
+// TestMixedKindCoalescing checks lookups and puts staged together split
+// into one batch call of each kind, and that the puts land (readable
+// afterwards through Get on the dispatcher).
+func TestMixedKindCoalescing(t *testing.T) {
+	g := newBatchGate()
+	s := newTestServer(t, g.config())
+	lk := &request{kind: kindLookup, key: "mixed-l", done: make(chan tinygroups.BatchResult, 1)}
+	if err := s.enqueue(lk); err != nil {
+		t.Fatal(err)
+	}
+	<-g.entered
+	puts := make([]*request, 8)
+	for i := range puts {
+		puts[i] = &request{
+			kind: kindPut, key: "mixed-" + string(rune('a'+i)),
+			value: []byte{byte(i)},
+			done:  make(chan tinygroups.BatchResult, 1),
+		}
+		if err := s.enqueue(puts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.release()
+	<-lk.done
+	stored := ""
+	for _, r := range puts {
+		if br := <-r.done; br.Err == nil {
+			stored = r.key
+		}
+	}
+	if s.m.putBatches.Load() != 1 {
+		t.Fatalf("put batch calls = %d, want 1", s.m.putBatches.Load())
+	}
+	if s.m.putBatchedOps.Load() != int64(len(puts)) {
+		t.Fatalf("put batched ops = %d, want %d", s.m.putBatchedOps.Load(), len(puts))
+	}
+	if stored == "" {
+		t.Skip("every staged put routed through a red group at this seed")
+	}
+	var err error
+	if eerr := s.doExec(func() { _, _, err = s.sys.Get(context.Background(), stored) }); eerr != nil {
+		t.Fatal(eerr)
+	}
+	if err != nil {
+		t.Fatalf("Get(%q) after batched put: %v", stored, err)
+	}
+}

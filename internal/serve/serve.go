@@ -1,0 +1,296 @@
+// Package serve implements the HTTP/JSON serving layer behind the
+// tinygroupsd daemon: request handlers over a tinygroups.System, a bounded
+// batching queue that coalesces concurrent lookups and puts into the
+// pool-amortized LookupBatch/PutBatch calls, a background epoch ticker,
+// and graceful drain-then-close shutdown.
+//
+// A tinygroups.System is not safe for concurrent use, so the server owns a
+// single dispatcher goroutine — the only code that ever touches the
+// System. HTTP handlers enqueue requests onto a bounded queue and wait for
+// their reply; the dispatcher drains the queue, coalescing adjacent
+// lookups (and puts) into one batch call each, which the System then fans
+// across its construction worker pool. Exclusive operations — Get,
+// Compute, AdvanceEpoch — run between batches on the same goroutine, so
+// every System call is serialized without a single lock on the hot path.
+//
+// Shutdown follows the drain-then-close contract: the epoch ticker is
+// cancelled first (an in-flight epoch aborts cooperatively between
+// construction batches via RunEpochContext), the embedded http.Server
+// stops accepting and waits for in-flight handlers, the queue is closed
+// and drained — every enqueued request still receives a real response —
+// and only then is the System closed.
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/tinygroups"
+)
+
+// Config tunes a Server. The zero value is usable: defaults are applied by
+// New.
+type Config struct {
+	// MaxBatch bounds how many queued lookups (or puts) are coalesced into
+	// a single LookupBatch/PutBatch call. Default 256.
+	MaxBatch int
+	// QueueCap bounds the request queue; a full queue fails fast with
+	// 429 Too Many Requests instead of building unbounded backlog.
+	// Default 1024.
+	QueueCap int
+	// EpochEvery, when positive, starts a background ticker that advances
+	// the epoch at that period. Ticks are closed-loop (a tick waits for
+	// the previous advance to finish) and the in-flight advance is
+	// cancelled cooperatively on Shutdown.
+	EpochEvery time.Duration
+	// Logf, when non-nil, receives one line per lifecycle event (start,
+	// epoch advance, shutdown). Requests are not logged.
+	Logf func(format string, args ...any)
+
+	// hookBeforeBatch, when non-nil, runs on the dispatcher goroutine
+	// immediately before each batch flush. Tests use it to hold a batch
+	// open while they stage concurrent requests; it must be set before
+	// New (the dispatcher starts there).
+	hookBeforeBatch func()
+}
+
+// errors returned by enqueue, mapped to HTTP statuses by the handlers.
+var (
+	errQueueFull = errors.New("serve: request queue full")
+	errDraining  = errors.New("serve: server draining")
+)
+
+// Server serves a tinygroups.System over HTTP/JSON. Create one with New,
+// run it with Serve or ListenAndServe (or mount Handler on any server),
+// and stop it with Shutdown.
+type Server struct {
+	sys *tinygroups.System
+	cfg Config
+	mux *http.ServeMux
+	hs  *http.Server
+
+	// mu guards closed against enqueue: every sender holds the read lock
+	// across its channel send, so once Shutdown flips closed under the
+	// write lock no send can race the subsequent close(reqs).
+	mu     sync.RWMutex
+	closed bool
+
+	reqs           chan *request
+	dispatcherDone chan struct{}
+	// closeOnce guards the final sys.Close so a Shutdown retried after a
+	// context expiry still closes the System exactly once.
+	closeOnce sync.Once
+	closeErr  error
+
+	tickCancel context.CancelFunc
+	tickerDone chan struct{}
+
+	// epoch mirrors the System's epoch counter so /healthz and /metrics
+	// can read it without a trip through the dispatcher.
+	epoch atomic.Int64
+	start time.Time
+	m     counters
+}
+
+// New wraps sys in a Server. The Server takes ownership of sys: Shutdown
+// closes it. The dispatcher goroutine starts immediately; HTTP serving
+// starts with Serve/ListenAndServe.
+func New(sys *tinygroups.System, cfg Config) *Server {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 256
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 1024
+	}
+	s := &Server{
+		sys:            sys,
+		cfg:            cfg,
+		reqs:           make(chan *request, cfg.QueueCap),
+		dispatcherDone: make(chan struct{}),
+		start:          time.Now(),
+	}
+	s.epoch.Store(int64(sys.Epoch()))
+	s.mux = s.routes()
+	s.hs = &http.Server{Handler: s.mux}
+	go s.dispatch()
+	if cfg.EpochEvery > 0 {
+		ctx, cancel := context.WithCancel(context.Background())
+		s.tickCancel = cancel
+		s.tickerDone = make(chan struct{})
+		go s.tick(ctx)
+	}
+	return s
+}
+
+// Handler returns the server's HTTP handler, for mounting on an external
+// http.Server or an httptest.Server. Callers that bypass Serve are still
+// expected to call Shutdown to drain the queue and close the System.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Shutdown. It returns nil after a
+// clean Shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	err := s.hs.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe listens on addr and serves until Shutdown. It returns nil
+// after a clean Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.logf("tinygroupsd: listening on %s", l.Addr())
+	return s.Serve(l)
+}
+
+// Shutdown drains and stops the server: the epoch ticker is cancelled (an
+// in-flight advance aborts cooperatively), the HTTP listener stops
+// accepting and in-flight handlers complete, every queued request is
+// answered, and the System is closed. ctx bounds the wait; on expiry the
+// remaining work is abandoned and ctx.Err() returned. Shutdown is
+// idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	// Stop feeding the queue new epoch work first, and cancel the advance
+	// that may be mid-construction — RunEpochContext aborts between
+	// per-ID batches, so the dispatcher frees up quickly.
+	if s.tickCancel != nil {
+		s.tickCancel()
+		select {
+		case <-s.tickerDone:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	// Let in-flight HTTP handlers finish while the dispatcher is still
+	// serving; new connections are refused by the http layer.
+	s.hs.SetKeepAlivesEnabled(false)
+	if err := s.hs.Shutdown(ctx); err != nil {
+		return err
+	}
+	// Refuse new enqueues, then close the queue: the mu dance guarantees
+	// no sender can race the close, and the dispatcher drains everything
+	// already queued before exiting — each request gets a real reply.
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already {
+		close(s.reqs)
+	}
+	select {
+	case <-s.dispatcherDone:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	s.closeOnce.Do(func() {
+		s.logf("tinygroupsd: drained, closing system")
+		s.closeErr = s.sys.Close()
+	})
+	return s.closeErr
+}
+
+// draining reports whether Shutdown has begun.
+func (s *Server) draining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.closed
+}
+
+// enqueue places r on the bounded queue, failing fast with errQueueFull
+// when it is saturated and errDraining once Shutdown has begun.
+func (s *Server) enqueue(r *request) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return errDraining
+	}
+	select {
+	case s.reqs <- r:
+		return nil
+	default:
+		s.m.queueRejects.Add(1)
+		return errQueueFull
+	}
+}
+
+// doBatched enqueues one batchable operation (a lookup or a put) and waits
+// for the dispatcher's reply.
+func (s *Server) doBatched(k reqKind, key string, value []byte) (tinygroups.BatchResult, error) {
+	r := &request{kind: k, key: key, value: value, done: make(chan tinygroups.BatchResult, 1)}
+	if err := s.enqueue(r); err != nil {
+		return tinygroups.BatchResult{}, err
+	}
+	return <-r.done, nil
+}
+
+// doExec runs fn on the dispatcher goroutine, serialized against every
+// other System access, and waits for it to finish. fn runs even during
+// shutdown drain, so callers always get an answer.
+func (s *Server) doExec(fn func()) error {
+	done := make(chan struct{})
+	r := &request{kind: kindExec, exec: func() { fn(); close(done) }}
+	if err := s.enqueue(r); err != nil {
+		return err
+	}
+	<-done
+	return nil
+}
+
+// advanceEpoch runs one epoch turnover on the dispatcher and mirrors the
+// new epoch counter. It returns the construction stats or the typed error.
+func (s *Server) advanceEpoch(ctx context.Context) (tinygroups.Stats, error) {
+	var (
+		st  tinygroups.Stats
+		err error
+	)
+	if eerr := s.doExec(func() {
+		st, err = s.sys.AdvanceEpoch(ctx)
+		if err == nil {
+			s.epoch.Store(int64(st.Epoch))
+			s.m.epochsAdvanced.Add(1)
+		}
+	}); eerr != nil {
+		return tinygroups.Stats{}, eerr
+	}
+	return st, err
+}
+
+// tick drives the background epoch ticker: one closed-loop AdvanceEpoch
+// per period, cancelled cooperatively when ctx ends.
+func (s *Server) tick(ctx context.Context) {
+	defer close(s.tickerDone)
+	t := time.NewTicker(s.cfg.EpochEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			st, err := s.advanceEpoch(ctx)
+			if err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				s.logf("tinygroupsd: epoch advance failed: %v", err)
+				continue
+			}
+			s.logf("tinygroupsd: epoch %d built (n=%d, qf=%.4f)", st.Epoch, st.N, st.QfSingle)
+		}
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}

@@ -1,0 +1,416 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/tinygroups"
+)
+
+// newTestServer builds a small deterministic system wrapped in a Server
+// and registers cleanup. Extra system options stack after the defaults.
+func newTestServer(t *testing.T, cfg Config, opts ...tinygroups.Option) *Server {
+	t.Helper()
+	sys, err := tinygroups.New(256, append([]tinygroups.Option{tinygroups.WithSeed(1)}, opts...)...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s := New(sys, cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+	return s
+}
+
+func TestStatusOf(t *testing.T) {
+	cases := []struct {
+		err        error
+		wantStatus int
+		wantCode   string
+	}{
+		{nil, http.StatusOK, "ok"},
+		{tinygroups.ErrNotFound, http.StatusNotFound, "not_found"},
+		{fmt.Errorf("wrapped: %w", tinygroups.ErrNotFound), http.StatusNotFound, "not_found"},
+		{tinygroups.ErrUnreachable, http.StatusBadGateway, "unreachable"},
+		{tinygroups.ErrBadConfig, http.StatusBadRequest, "bad_config"},
+		{fmt.Errorf("wrapped: %w", tinygroups.ErrBadConfig), http.StatusBadRequest, "bad_config"},
+		{tinygroups.ErrClosed, http.StatusServiceUnavailable, "closed"},
+		{errDraining, http.StatusServiceUnavailable, "closed"},
+		{errQueueFull, http.StatusTooManyRequests, "queue_full"},
+		{context.Canceled, http.StatusGatewayTimeout, "canceled"},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout, "canceled"},
+		{fmt.Errorf("boom"), http.StatusInternalServerError, "internal"},
+	}
+	for _, c := range cases {
+		status, code := statusOf(c.err)
+		if status != c.wantStatus || code != c.wantCode {
+			t.Errorf("statusOf(%v) = (%d, %q), want (%d, %q)",
+				c.err, status, code, c.wantStatus, c.wantCode)
+		}
+	}
+}
+
+// TestHandlersBadInput table-tests the HTTP surface's input validation:
+// every malformed request maps to a 4xx with a stable machine-readable
+// code, never a 5xx or a hang.
+func TestHandlersBadInput(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name, method, path, body string
+		wantStatus               int
+		wantCode                 string
+	}{
+		{"lookup wrong method", http.MethodGet, "/v1/lookup", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"lookup bad json", http.MethodPost, "/v1/lookup", "{", http.StatusBadRequest, "bad_request"},
+		{"lookup missing key", http.MethodPost, "/v1/lookup", "{}", http.StatusBadRequest, "bad_request"},
+		{"lookup unknown field", http.MethodPost, "/v1/lookup", `{"nope":1}`, http.StatusBadRequest, "bad_request"},
+		{"put wrong method", http.MethodGet, "/v1/put", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"put missing key", http.MethodPost, "/v1/put", `{"value":"AA=="}`, http.StatusBadRequest, "bad_request"},
+		{"get wrong method", http.MethodPost, "/v1/get?key=x", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"get missing key", http.MethodGet, "/v1/get", "", http.StatusBadRequest, "bad_request"},
+		{"compute wrong method", http.MethodGet, "/v1/compute", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"compute missing key", http.MethodPost, "/v1/compute", `{"input":1}`, http.StatusBadRequest, "bad_request"},
+		{"advance wrong method", http.MethodGet, "/v1/epoch/advance", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"healthz wrong method", http.MethodPost, "/healthz", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"metrics wrong method", http.MethodPost, "/metrics", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			req, err := http.NewRequest(c.method, ts.URL+c.path, strings.NewReader(c.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != c.wantStatus {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, c.wantStatus)
+			}
+			var e errorResponse
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+				t.Fatalf("decode error body: %v", err)
+			}
+			if e.Code != c.wantCode {
+				t.Fatalf("code = %q, want %q", e.Code, c.wantCode)
+			}
+		})
+	}
+}
+
+// TestPutGetRoundTrip exercises the happy path end to end: a put whose
+// route succeeds, the matching get, and the typed 404 for a key never
+// stored.
+func TestPutGetRoundTrip(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// A few keys route through red groups at any seed (the conceded ε), so
+	// scan until one put lands.
+	var stored string
+	for i := 0; i < 32 && stored == ""; i++ {
+		key := fmt.Sprintf("round-%d", i)
+		body, _ := json.Marshal(map[string]any{"key": key, "value": []byte("payload")})
+		resp, err := http.Post(ts.URL+"/v1/put", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			stored = key
+		case http.StatusBadGateway: // unreachable — try the next key
+		default:
+			t.Fatalf("put %q: unexpected status %d", key, resp.StatusCode)
+		}
+	}
+	if stored == "" {
+		t.Fatal("no put landed in 32 attempts — search failure rate implausibly high")
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/get?key=" + stored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get %q: status %d, want 200", stored, resp.StatusCode)
+	}
+	var got getResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Value) != "payload" {
+		t.Fatalf("get %q: value %q, want %q", stored, got.Value, "payload")
+	}
+
+	// A reachable key that was never stored is the typed 404.
+	found404 := false
+	for i := 0; i < 32 && !found404; i++ {
+		resp, err := http.Get(ts.URL + fmt.Sprintf("/v1/get?key=missing-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e errorResponse
+		if resp.StatusCode == http.StatusNotFound {
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+				t.Fatal(err)
+			}
+			if e.Code != "not_found" {
+				t.Fatalf("404 code = %q, want not_found", e.Code)
+			}
+			found404 = true
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if !found404 {
+		t.Fatal("no missing key returned 404 in 32 attempts")
+	}
+}
+
+// TestComputeAndAdvance exercises the two exclusive endpoints: a group
+// computation and an explicit epoch turnover, checking the epoch counter
+// moves and /healthz mirrors it.
+func TestComputeAndAdvance(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var cres computeResponse
+	for i := 0; i < 32; i++ {
+		body, _ := json.Marshal(map[string]any{"key": fmt.Sprintf("job-%d", i), "input": 1})
+		resp, err := http.Post(ts.URL+"/v1/compute", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&cres); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			break
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if cres.Group == "" {
+		t.Fatal("no compute landed in 32 attempts")
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/epoch/advance", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("advance: status %d, want 200", resp.StatusCode)
+	}
+	var st tinygroups.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != 1 {
+		t.Fatalf("advance: epoch %d, want 1", st.Epoch)
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var h healthResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Epoch != 1 || h.N != 256 {
+		t.Fatalf("healthz = %+v, want status ok / epoch 1 / n 256", h)
+	}
+}
+
+// TestEpochTicker checks the background ticker advances epochs on its own
+// and that Shutdown stops it cleanly.
+func TestEpochTicker(t *testing.T) {
+	sys, err := tinygroups.New(64, tinygroups.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(sys, Config{EpochEvery: 5 * time.Millisecond})
+	deadline := time.Now().Add(10 * time.Second)
+	for s.m.epochsAdvanced.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("ticker advanced no epoch within 10s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if s.epoch.Load() == 0 {
+		t.Fatal("epoch mirror never updated")
+	}
+}
+
+// TestQueueFull checks the bounded queue fails fast: with the dispatcher
+// held and a capacity-1 queue, the third concurrent request gets 429.
+func TestQueueFull(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	s := newTestServer(t, Config{
+		QueueCap: 1,
+		hookBeforeBatch: func() {
+			entered <- struct{}{}
+			<-gate
+		},
+	})
+
+	// First request: taken by the dispatcher, held at the flush hook.
+	r1 := &request{kind: kindLookup, key: "a", done: make(chan tinygroups.BatchResult, 1)}
+	if err := s.enqueue(r1); err != nil {
+		t.Fatalf("enqueue 1: %v", err)
+	}
+	<-entered
+	// Second request: sits in the capacity-1 queue.
+	r2 := &request{kind: kindLookup, key: "b", done: make(chan tinygroups.BatchResult, 1)}
+	if err := s.enqueue(r2); err != nil {
+		t.Fatalf("enqueue 2: %v", err)
+	}
+	// Third request: queue full.
+	r3 := &request{kind: kindLookup, key: "c", done: make(chan tinygroups.BatchResult, 1)}
+	if err := s.enqueue(r3); err != errQueueFull {
+		t.Fatalf("enqueue 3: err = %v, want errQueueFull", err)
+	}
+	if got, code := statusOf(errQueueFull); got != http.StatusTooManyRequests || code != "queue_full" {
+		t.Fatalf("statusOf(errQueueFull) = (%d, %q)", got, code)
+	}
+	close(gate)
+	<-r1.done
+	<-r2.done
+	if s.m.queueRejects.Load() != 1 {
+		t.Fatalf("queueRejects = %d, want 1", s.m.queueRejects.Load())
+	}
+}
+
+// TestShutdownDrainsInflight stages requests behind a held dispatcher,
+// begins Shutdown while they are queued, and checks every one of them
+// still receives a real routed response before the System closes — the
+// drain-then-close contract.
+func TestShutdownDrainsInflight(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	var once bool
+	sys, err := tinygroups.New(256, tinygroups.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(sys, Config{
+		hookBeforeBatch: func() {
+			if !once { // hold only the first flush; the drain must run free
+				once = true
+				entered <- struct{}{}
+				<-gate
+			}
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const inflight = 6
+	type reply struct {
+		status int
+		err    error
+	}
+	replies := make(chan reply, inflight)
+	post := func(key string) {
+		body, _ := json.Marshal(map[string]string{"key": key})
+		resp, err := http.Post(ts.URL+"/v1/lookup", "application/json", bytes.NewReader(body))
+		if err != nil {
+			replies <- reply{err: err}
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		replies <- reply{status: resp.StatusCode}
+	}
+
+	// One request reaches the dispatcher and is held at the flush hook...
+	go post("drain-0")
+	<-entered
+	// ...then more arrive and stack up in the queue behind it.
+	for i := 1; i < inflight; i++ {
+		go post(fmt.Sprintf("drain-%d", i))
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for s.m.lookups.Load() < inflight {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d requests arrived", s.m.lookups.Load(), inflight)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Shutdown begins while the queue is full of unanswered requests.
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- s.Shutdown(ctx)
+	}()
+	// Give Shutdown a moment to flip the draining flag, then release the
+	// dispatcher so the drain can run.
+	for !s.draining() {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+
+	for i := 0; i < inflight; i++ {
+		r := <-replies
+		if r.err != nil {
+			t.Fatalf("in-flight request got transport error %v — dropped instead of drained", r.err)
+		}
+		if r.status != http.StatusOK && r.status != http.StatusBadGateway {
+			t.Fatalf("in-flight request got status %d, want 200 or 502", r.status)
+		}
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// After the drain the server refuses work and reports draining.
+	body, _ := json.Marshal(map[string]string{"key": "late"})
+	resp, err := http.Post(ts.URL+"/v1/lookup", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown lookup: status %d, want 503", resp.StatusCode)
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown healthz: status %d, want 503", hresp.StatusCode)
+	}
+}

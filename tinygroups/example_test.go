@@ -1,0 +1,60 @@
+package tinygroups_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/tinygroups"
+)
+
+// ExampleNew builds a small deterministic system, exercises the keyed
+// store, and releases it.
+func ExampleNew() {
+	sys, err := tinygroups.New(256,
+		tinygroups.WithBeta(0.05),
+		tinygroups.WithOverlay("chord"),
+		tinygroups.WithSeed(1),
+	)
+	if err != nil {
+		fmt.Println("config rejected:", errors.Is(err, tinygroups.ErrBadConfig))
+		return
+	}
+	defer sys.Close()
+	fmt.Println("n:", sys.N())
+	fmt.Println("epoch:", sys.Epoch())
+
+	// Invalid configurations fail with the typed ErrBadConfig.
+	_, err = tinygroups.New(4)
+	fmt.Println("n=4 rejected:", errors.Is(err, tinygroups.ErrBadConfig))
+	// Output:
+	// n: 256
+	// epoch: 0
+	// n=4 rejected: true
+}
+
+// ExampleSystem_LookupBatch routes a batch of keys concurrently over the
+// system's worker pool; per-key outcomes come back in key order, and the
+// results are identical at every worker count.
+func ExampleSystem_LookupBatch() {
+	sys, err := tinygroups.New(256, tinygroups.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	defer sys.Close()
+
+	keys := []string{"alice", "bob", "carol", "dave"}
+	results, err := sys.LookupBatch(context.Background(), keys)
+	if err != nil {
+		panic(err) // only ErrClosed or context cancellation
+	}
+	fmt.Println("results:", len(results))
+	for i, r := range results {
+		// A per-key ErrUnreachable is the ε-fraction Theorem 3 concedes.
+		if r.Err != nil && !errors.Is(r.Err, tinygroups.ErrUnreachable) {
+			fmt.Println(keys[i], "failed:", r.Err)
+		}
+	}
+	// Output:
+	// results: 4
+}

@@ -1,0 +1,167 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Config tunes a closed-loop run. The zero value is completed by defaults:
+// 4 workers, 1000 ops, seed 1.
+type Config struct {
+	// Concurrency is the number of closed-loop clients: each repeatedly
+	// claims the next op index off a shared counter, executes it, and
+	// records the latency — so offered load tracks service capacity
+	// instead of overrunning it.
+	Concurrency int
+	// Ops is the total operation count of the run.
+	Ops int
+	// Seed drives the workload's op stream; two runs with equal seeds send
+	// identical operations.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Concurrency <= 0 {
+		c.Concurrency = 4
+	}
+	if c.Ops <= 0 {
+		c.Ops = 1000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Result is one workload's measured service level, the unit of
+// BENCH_service.json. Latencies are milliseconds.
+type Result struct {
+	Workload    string  `json:"workload"`
+	Ops         int     `json:"ops"`
+	OK          int     `json:"ok"`
+	Unreachable int     `json:"unreachable"`
+	NotFound    int     `json:"not_found"`
+	Errors      int     `json:"errors"`
+	Seconds     float64 `json:"seconds"`
+	Throughput  float64 `json:"throughput_ops_per_s"`
+	P50Millis   float64 `json:"p50_ms"`
+	P99Millis   float64 `json:"p99_ms"`
+	MeanMillis  float64 `json:"mean_ms"`
+	MaxMillis   float64 `json:"max_ms"`
+}
+
+// workerTally is one worker's private accounting, merged after the run so
+// the hot loop shares nothing.
+type workerTally struct {
+	lat                                metrics.Summary
+	ok, unreachable, notFound, errored int
+}
+
+// Run drives gen against target closed-loop and returns the measured
+// service level. Workers claim op indices off a shared counter: which
+// worker runs which op is scheduling-dependent, but the op *content* is a
+// pure function of (seed, index), so the executed operation set is
+// identical across runs and concurrency levels. Run stops early (with
+// ctx.Err()) when ctx cancels; the partial result is still returned.
+func Run(ctx context.Context, target Target, gen Generator, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	tallies := make([]workerTally, cfg.Concurrency)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(t *workerTally) {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Ops {
+					return
+				}
+				op := gen.Op(cfg.Seed, i)
+				t0 := time.Now()
+				out, err := target.Do(ctx, op)
+				t.lat.Add(float64(time.Since(t0)) / float64(time.Millisecond))
+				switch {
+				case err != nil:
+					t.errored++
+				case out == OK:
+					t.ok++
+				case out == Unreachable:
+					t.unreachable++
+				case out == NotFound:
+					t.notFound++
+				}
+			}
+		}(&tallies[w])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var lat metrics.Summary
+	res := Result{Workload: gen.Name(), Seconds: elapsed.Seconds()}
+	for i := range tallies {
+		t := &tallies[i]
+		lat.Merge(&t.lat)
+		res.OK += t.ok
+		res.Unreachable += t.unreachable
+		res.NotFound += t.notFound
+		res.Errors += t.errored
+	}
+	res.Ops = lat.N()
+	if res.Seconds > 0 {
+		res.Throughput = float64(res.Ops) / res.Seconds
+	}
+	res.P50Millis = lat.Quantile(0.50)
+	res.P99Millis = lat.Quantile(0.99)
+	res.MeanMillis = lat.Mean()
+	res.MaxMillis = lat.Max()
+	return res, ctx.Err()
+}
+
+// Report is the BENCH_service.json document: one Result per workload of a
+// sweep, plus the run's shape.
+type Report struct {
+	Target         string   `json:"target"`
+	Concurrency    int      `json:"concurrency"`
+	OpsPerWorkload int      `json:"ops_per_workload"`
+	Seed           int64    `json:"seed"`
+	Workloads      []Result `json:"workloads"`
+}
+
+// RunSuite runs every generator in order under one Config and collects the
+// results into a Report (Target is left for the caller to stamp). It stops
+// at the first context cancellation; transport errors within a workload do
+// not abort the sweep — they surface in that workload's Errors count.
+func RunSuite(ctx context.Context, target Target, gens []Generator, cfg Config) (Report, error) {
+	cfg = cfg.withDefaults()
+	rep := Report{
+		Concurrency:    cfg.Concurrency,
+		OpsPerWorkload: cfg.Ops,
+		Seed:           cfg.Seed,
+		Workloads:      make([]Result, 0, len(gens)),
+	}
+	for _, g := range gens {
+		res, err := Run(ctx, target, g, cfg)
+		rep.Workloads = append(rep.Workloads, res)
+		if err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report as indented JSON — the format committed as
+// BENCH_service.json, alongside the BENCH_*.json files cmd/benchjson
+// produces.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

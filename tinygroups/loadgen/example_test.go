@@ -1,0 +1,27 @@
+package loadgen_test
+
+import (
+	"fmt"
+
+	"repro/tinygroups/loadgen"
+)
+
+// ExampleGenerator shows the determinism contract: a workload's op stream
+// is a pure function of (seed, index), so any client — at any concurrency
+// — regenerates exactly these operations.
+func ExampleGenerator() {
+	gen := loadgen.ChurnHeavy(64, 3)
+	for i := 0; i < 4; i++ {
+		op := gen.Op(1, i)
+		if op.Key == "" {
+			fmt.Println(i, op.Kind)
+			continue
+		}
+		fmt.Println(i, op.Kind, op.Key)
+	}
+	// Output:
+	// 0 lookup k00000001
+	// 1 lookup k00000024
+	// 2 advance
+	// 3 lookup k00000022
+}

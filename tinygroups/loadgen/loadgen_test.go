@@ -1,0 +1,197 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/tinygroups"
+)
+
+// TestGeneratorDeterminism checks the core contract: every built-in
+// workload's op stream is a pure function of (seed, index) — recomputing
+// an op gives the identical value, and changing the seed changes the
+// stream.
+func TestGeneratorDeterminism(t *testing.T) {
+	for _, g := range Suite(256, 50) {
+		t.Run(g.Name(), func(t *testing.T) {
+			var differs bool
+			for i := 0; i < 200; i++ {
+				a, b := g.Op(1, i), g.Op(1, i)
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("op %d not reproducible: %+v vs %+v", i, a, b)
+				}
+				if !reflect.DeepEqual(g.Op(1, i), g.Op(2, i)) {
+					differs = true
+				}
+			}
+			if !differs {
+				t.Fatal("seeds 1 and 2 generated identical 200-op streams")
+			}
+		})
+	}
+}
+
+// TestGeneratorShapes spot-checks each workload's distribution promises:
+// uniform spread, zipf concentration, the write fraction, and the fixed
+// churn schedule.
+func TestGeneratorShapes(t *testing.T) {
+	const keys, ops = 256, 4000
+
+	t.Run("uniform", func(t *testing.T) {
+		g := Uniform(keys)
+		seen := map[string]bool{}
+		for i := 0; i < ops; i++ {
+			op := g.Op(1, i)
+			if op.Kind != KindLookup {
+				t.Fatalf("op %d: kind %v, want lookup", i, op.Kind)
+			}
+			seen[op.Key] = true
+		}
+		if len(seen) < keys*9/10 {
+			t.Fatalf("uniform hit only %d/%d keys over %d ops", len(seen), keys, ops)
+		}
+	})
+
+	t.Run("zipf-hotspot", func(t *testing.T) {
+		g := ZipfHotspot(keys, 4)
+		hot := 0
+		for i := 0; i < ops; i++ {
+			if g.Op(1, i).Key < keyOf(keys/10) {
+				hot++
+			}
+		}
+		// skew 4 puts P(u < 0.1^(1/4)) ≈ 56% of traffic on the hottest 10%.
+		if frac := float64(hot) / ops; frac < 0.45 || frac > 0.70 {
+			t.Fatalf("hottest 10%% of keys drew %.2f of traffic, want ≈0.56", frac)
+		}
+	})
+
+	t.Run("readwrite-mix", func(t *testing.T) {
+		g := ReadWriteMix(keys, 0.1)
+		puts := 0
+		for i := 0; i < ops; i++ {
+			switch op := g.Op(1, i); op.Kind {
+			case KindPut:
+				puts++
+				if len(op.Value) != valueBytes {
+					t.Fatalf("op %d: value %d bytes, want %d", i, len(op.Value), valueBytes)
+				}
+			case KindGet:
+			default:
+				t.Fatalf("op %d: kind %v, want put or get", i, op.Kind)
+			}
+		}
+		if frac := float64(puts) / ops; frac < 0.07 || frac > 0.13 {
+			t.Fatalf("write fraction %.3f, want ≈0.10", frac)
+		}
+	})
+
+	t.Run("churn-heavy", func(t *testing.T) {
+		const every = 50
+		g := ChurnHeavy(keys, every)
+		for i := 0; i < ops; i++ {
+			op := g.Op(1, i)
+			wantAdvance := i%every == every-1
+			if (op.Kind == KindAdvance) != wantAdvance {
+				t.Fatalf("op %d: kind %v, advance schedule broken", i, op.Kind)
+			}
+		}
+	})
+}
+
+// TestRunSystemTarget drives the closed loop against an in-process System
+// and checks the accounting adds up.
+func TestRunSystemTarget(t *testing.T) {
+	sys, err := tinygroups.New(128, tinygroups.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	res, err := Run(context.Background(), NewSystemTarget(sys), ReadWriteMix(64, 0.3),
+		Config{Concurrency: 4, Ops: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 300 {
+		t.Fatalf("ops = %d, want 300", res.Ops)
+	}
+	if sum := res.OK + res.Unreachable + res.NotFound + res.Errors; sum != res.Ops {
+		t.Fatalf("outcome sum %d != ops %d (%+v)", sum, res.Ops, res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d, want 0 (%+v)", res.Errors, res)
+	}
+	if res.OK == 0 {
+		t.Fatal("no op succeeded — implausible at β=0.05")
+	}
+	if res.Throughput <= 0 || res.P99Millis < res.P50Millis {
+		t.Fatalf("implausible latency summary: %+v", res)
+	}
+}
+
+// TestRunSuiteHTTP is the end-to-end path: the full 4-workload sweep
+// against a live serving layer over httptest, exactly what cmd/loadgen
+// does against the daemon.
+func TestRunSuiteHTTP(t *testing.T) {
+	sys, err := tinygroups.New(128, tinygroups.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New(sys, serve.Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	}()
+
+	target := NewHTTPTarget(ts.URL)
+	if err := target.WaitReady(context.Background(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunSuite(context.Background(), target, Suite(64, 40),
+		Config{Concurrency: 4, Ops: 120, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Workloads) != 4 {
+		t.Fatalf("workloads = %d, want 4", len(rep.Workloads))
+	}
+	for _, r := range rep.Workloads {
+		if r.Ops != 120 {
+			t.Fatalf("%s: ops = %d, want 120", r.Workload, r.Ops)
+		}
+		if r.Errors != 0 {
+			t.Fatalf("%s: %d transport errors", r.Workload, r.Errors)
+		}
+	}
+	if rep.Workloads[3].Workload != "churn-heavy" {
+		t.Fatalf("sweep order broken: %v", rep.Workloads)
+	}
+}
+
+// TestRunCancellation checks a cancelled context stops the closed loop
+// early and surfaces ctx.Err.
+func TestRunCancellation(t *testing.T) {
+	sys, err := tinygroups.New(128, tinygroups.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(ctx, NewSystemTarget(sys), Uniform(64), Config{Concurrency: 2, Ops: 1000})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Ops >= 1000 {
+		t.Fatalf("ops = %d, want early stop", res.Ops)
+	}
+}

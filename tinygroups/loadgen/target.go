@@ -1,0 +1,199 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"repro/tinygroups"
+)
+
+// Outcome is the semantic result of one executed operation. Unreachable
+// and NotFound are expected system behaviors (the conceded ε of Theorem 3,
+// and reads of never-written keys), not failures — the driver tallies them
+// separately from transport errors.
+type Outcome uint8
+
+// The semantic outcomes a Target reports.
+const (
+	OK Outcome = iota
+	Unreachable
+	NotFound
+)
+
+// String returns the outcome name.
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case Unreachable:
+		return "unreachable"
+	case NotFound:
+		return "not_found"
+	}
+	return "unknown"
+}
+
+// Target executes generated operations against a system under test. Do
+// returns the semantic outcome; the error is non-nil only for transport or
+// system failures, which the driver counts as errors and does not retry.
+// Implementations must be safe for concurrent use.
+type Target interface {
+	Do(ctx context.Context, op Op) (Outcome, error)
+}
+
+// HTTPTarget drives a tinygroupsd daemon over its /v1 endpoints.
+type HTTPTarget struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTPTarget returns a target for the daemon at baseURL (e.g.
+// "http://127.0.0.1:8477"). Connections are pooled and reused across the
+// closed-loop workers.
+func NewHTTPTarget(baseURL string) *HTTPTarget {
+	return &HTTPTarget{
+		base:   baseURL,
+		client: &http.Client{Timeout: 60 * time.Second},
+	}
+}
+
+// WaitReady polls /healthz until the daemon answers 200, ctx cancels, or
+// timeout elapses — the startup handshake of cmd/loadgen and the smoke
+// gate.
+func (t *HTTPTarget) WaitReady(ctx context.Context, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.base+"/healthz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := t.client.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("loadgen: %s/healthz not ready after %s (last: %v)", t.base, timeout, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// jsonBody marshals v for a request body.
+func jsonBody(v any) (io.Reader, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return bytes.NewReader(b), nil
+}
+
+// Do implements Target by mapping op kinds onto the daemon's endpoints and
+// HTTP statuses back onto outcomes (200 → OK, 502 → Unreachable, 404 →
+// NotFound; anything else is an error).
+func (t *HTTPTarget) Do(ctx context.Context, op Op) (Outcome, error) {
+	var (
+		method = http.MethodPost
+		path   string
+		body   io.Reader
+		err    error
+	)
+	switch op.Kind {
+	case KindLookup:
+		path = "/v1/lookup"
+		body, err = jsonBody(map[string]any{"key": op.Key})
+	case KindPut:
+		path = "/v1/put"
+		body, err = jsonBody(map[string]any{"key": op.Key, "value": op.Value})
+	case KindGet:
+		method = http.MethodGet
+		path = "/v1/get?key=" + url.QueryEscape(op.Key)
+	case KindAdvance:
+		path = "/v1/epoch/advance"
+	default:
+		return OK, fmt.Errorf("loadgen: unknown op kind %d", op.Kind)
+	}
+	if err != nil {
+		return OK, err
+	}
+	req, err := http.NewRequestWithContext(ctx, method, t.base+path, body)
+	if err != nil {
+		return OK, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return OK, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return OK, nil
+	case http.StatusBadGateway:
+		return Unreachable, nil
+	case http.StatusNotFound:
+		return NotFound, nil
+	default:
+		return OK, fmt.Errorf("loadgen: %s %s: unexpected status %d", method, path, resp.StatusCode)
+	}
+}
+
+// SystemTarget drives an in-process tinygroups.System directly — the
+// no-network baseline, and the target unit tests use. The System is not
+// safe for concurrent use, so ops serialize through a mutex; batching
+// (and therefore the daemon's coalescing speedup) does not apply here.
+type SystemTarget struct {
+	mu  sync.Mutex
+	sys *tinygroups.System
+}
+
+// NewSystemTarget wraps sys. The caller keeps ownership (and Close).
+func NewSystemTarget(sys *tinygroups.System) *SystemTarget {
+	return &SystemTarget{sys: sys}
+}
+
+// Do implements Target over the library API.
+func (t *SystemTarget) Do(ctx context.Context, op Op) (Outcome, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var err error
+	switch op.Kind {
+	case KindLookup:
+		_, err = t.sys.Lookup(ctx, op.Key)
+	case KindPut:
+		_, err = t.sys.Put(ctx, op.Key, op.Value)
+	case KindGet:
+		_, _, err = t.sys.Get(ctx, op.Key)
+	case KindAdvance:
+		_, err = t.sys.AdvanceEpoch(ctx)
+	default:
+		return OK, fmt.Errorf("loadgen: unknown op kind %d", op.Kind)
+	}
+	switch {
+	case err == nil:
+		return OK, nil
+	case errors.Is(err, tinygroups.ErrUnreachable):
+		return Unreachable, nil
+	case errors.Is(err, tinygroups.ErrNotFound):
+		return NotFound, nil
+	default:
+		return OK, err
+	}
+}

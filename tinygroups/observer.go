@@ -3,6 +3,8 @@ package tinygroups
 // Op names the operation behind a SearchEvent.
 type Op uint8
 
+// The keyed operations a SearchEvent can report: every routed search is
+// triggered by one of these four.
 const (
 	OpLookup Op = iota
 	OpPut

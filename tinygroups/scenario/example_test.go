@@ -1,0 +1,59 @@
+package scenario_test
+
+import (
+	"context"
+	"fmt"
+
+	"repro/tinygroups/scenario"
+)
+
+// ExampleRegistry_Run registers a custom scenario and streams its output
+// through a handler — the same interface the built-in e1..e20 use.
+func ExampleRegistry_Run() {
+	reg := scenario.NewRegistry()
+	err := reg.Register(scenario.Scenario{
+		ID:    "demo",
+		Title: "a two-row demo table",
+		Stream: func(ctx context.Context, o scenario.Options, h scenario.Handler) error {
+			h.Header("x", "x^2")
+			for x := 1; x <= 2; x++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				h.Row(fmt.Sprint(x), fmt.Sprint(x*x))
+			}
+			h.Note("rows stream as they are produced")
+			return nil
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	err = reg.Run(context.Background(), "demo", scenario.Options{},
+		scenario.HandlerFuncs{
+			OnRow:  func(cells []string) { fmt.Println("row:", cells) },
+			OnNote: func(text string) { fmt.Println("note:", text) },
+		})
+	fmt.Println("err:", err)
+	// Output:
+	// row: [1 1]
+	// row: [2 4]
+	// note: rows stream as they are produced
+	// err: <nil>
+}
+
+// ExampleDefault shows the built-in registry holding every experiment of
+// the paper reproduction.
+func ExampleDefault() {
+	reg := scenario.Default()
+	list := reg.List()
+	fmt.Println("scenarios:", len(list))
+	fmt.Println("first:", list[0].ID)
+	_, ok := reg.Lookup("e4")
+	fmt.Println("e4 registered:", ok)
+	// Output:
+	// scenarios: 20
+	// first: e1
+	// e4 registered: true
+}
