@@ -6,7 +6,7 @@ GO ?= go
 # The hot-path micro-benchmarks recorded in BENCH_hotpaths.json: the oracle
 # hash APIs, ring successor lookups, overlay routing, group build/search and
 # the sim round loop — the three paths every experiment funnels through.
-HOTPATH_BENCH = BenchmarkRingSuccessor|BenchmarkHashPoint|BenchmarkHashOfPoint|BenchmarkHashPointsAt|BenchmarkXORInto|BenchmarkChordRoute|BenchmarkSimRound|BenchmarkGroupsBuild|BenchmarkGroupSearch|BenchmarkSecureRouteProtocol
+HOTPATH_BENCH = BenchmarkRingSuccessor|BenchmarkHashPoint|BenchmarkHashOfPoint|BenchmarkHashPointsAt|BenchmarkXORInto|BenchmarkChordRoute|BenchmarkSimRound|BenchmarkGroupsBuild|BenchmarkGroupSearch|BenchmarkSecureRouteProtocol|BenchmarkLookupParallel
 
 # The epoch-pipeline benchmarks recorded in BENCH_epoch.json: steady-state
 # RunEpoch at one worker, the same on the default pool, and the E4-shaped

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"math/rand"
 	"strconv"
 	"testing"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/ring"
 	"repro/internal/secroute"
 	"repro/internal/sim"
+	"repro/tinygroups"
 )
 
 // ---------------------------------------------------------------------------
@@ -509,4 +511,31 @@ func BenchmarkE19AdaptivePoW(b *testing.B) {
 func BenchmarkE20SizeDrift(b *testing.B) {
 	res := benchExperiment(b, "e20")
 	b.ReportMetric(cell(b, res, len(res.Table.Rows)-1, 4), "searchFail@50pctDrift")
+}
+
+// BenchmarkLookupParallel measures the lock-free snapshot read path under
+// contention: every P runs Lookups concurrently against one System, each
+// drawing a pooled scratch and resolving against the atomically-loaded
+// epoch generation. Scaling with -cpu is the tentpole claim — reads share
+// no locks, so throughput should track GOMAXPROCS.
+func BenchmarkLookupParallel(b *testing.B) {
+	sys, err := tinygroups.New(4096, tinygroups.WithBeta(0.05), tinygroups.WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	ctx := context.Background()
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = "par-" + strconv.Itoa(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			_, _ = sys.Lookup(ctx, keys[i%len(keys)])
+			i++
+		}
+	})
 }

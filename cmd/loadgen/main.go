@@ -6,10 +6,11 @@
 //
 //	loadgen [-addr URL] [-ops N] [-concurrency C] [-seed S] [-keys K]
 //	        [-workloads LIST] [-zipf-skew X] [-write-frac F]
-//	        [-advance-every N] [-out FILE]
+//	        [-advance-every N] [-storm-every N] [-out FILE]
 //
-// The default sweep runs the four canonical workloads (uniform,
-// zipf-hotspot, readwrite-mix, churn-heavy) and writes BENCH_service.json.
+// The default sweep runs the five canonical workloads (uniform,
+// zipf-hotspot, readwrite-mix, churn-heavy, epoch-storm) and writes
+// BENCH_service.json.
 // Op streams are pure functions of (seed, index) — see tinygroups/loadgen
 // — so two sweeps with equal seeds send byte-identical operation
 // sequences regardless of concurrency.
@@ -45,11 +46,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	concurrency := fs.Int("concurrency", 4, "closed-loop client count")
 	seed := fs.Int64("seed", 1, "workload seed; equal seeds send identical op streams")
 	keys := fs.Int("keys", 512, "keyspace size")
-	workloads := fs.String("workloads", "uniform,zipf-hotspot,readwrite-mix,churn-heavy",
+	workloads := fs.String("workloads", "uniform,zipf-hotspot,readwrite-mix,churn-heavy,epoch-storm",
 		"comma-separated workload names to run, in order")
 	zipfSkew := fs.Float64("zipf-skew", 4, "zipf-hotspot skew exponent (1 = uniform)")
 	writeFrac := fs.Float64("write-frac", 0.1, "readwrite-mix put share in [0,1]")
 	advanceEvery := fs.Int("advance-every", 500, "churn-heavy: one epoch advance per this many ops")
+	stormEvery := fs.Int("storm-every", 100, "epoch-storm: one epoch advance per this many ops")
 	out := fs.String("out", "BENCH_service.json", `report file ("-" = stdout)`)
 	readyTimeout := fs.Duration("ready-timeout", 30*time.Second, "how long to wait for /healthz")
 	if err := fs.Parse(args); err != nil {
@@ -64,7 +66,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	gens, err := pickWorkloads(*workloads, *keys, *zipfSkew, *writeFrac, *advanceEvery)
+	gens, err := pickWorkloads(*workloads, *keys, *zipfSkew, *writeFrac, *advanceEvery, *stormEvery)
 	if err != nil {
 		fmt.Fprintf(stderr, "loadgen: %v\n", err)
 		return 2
@@ -94,7 +96,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 // pickWorkloads resolves the -workloads list against the built-in
 // generators, parameterized by the tuning flags.
-func pickWorkloads(list string, keys int, zipfSkew, writeFrac float64, advanceEvery int) ([]loadgen.Generator, error) {
+func pickWorkloads(list string, keys int, zipfSkew, writeFrac float64, advanceEvery, stormEvery int) ([]loadgen.Generator, error) {
 	byName := map[string]loadgen.Generator{}
 	var known []string
 	for _, g := range []loadgen.Generator{
@@ -102,6 +104,7 @@ func pickWorkloads(list string, keys int, zipfSkew, writeFrac float64, advanceEv
 		loadgen.ZipfHotspot(keys, zipfSkew),
 		loadgen.ReadWriteMix(keys, writeFrac),
 		loadgen.ChurnHeavy(keys, advanceEvery),
+		loadgen.EpochStorm(keys, stormEvery),
 	} {
 		byName[g.Name()] = g
 		known = append(known, g.Name())
@@ -143,15 +146,20 @@ func writeReport(rep loadgen.Report, out string, stdout io.Writer) error {
 // printSummary renders the human-readable sweep table.
 func printSummary(w io.Writer, rep loadgen.Report) {
 	tab := metrics.Table{Header: []string{
-		"workload", "ops", "ok", "unreach", "notfound", "err", "ops/s", "p50 ms", "p99 ms",
+		"workload", "ops", "ok", "unreach", "notfound", "err", "ops/s", "p50 ms", "p99 ms", "read p99",
 	}}
 	for _, r := range rep.Workloads {
+		readP99 := "-"
+		if r.ReadOps > 0 {
+			readP99 = fmt.Sprintf("%.2f", r.ReadP99Millis)
+		}
 		tab.Append(r.Workload,
 			fmt.Sprintf("%d", r.Ops), fmt.Sprintf("%d", r.OK),
 			fmt.Sprintf("%d", r.Unreachable), fmt.Sprintf("%d", r.NotFound),
 			fmt.Sprintf("%d", r.Errors),
 			fmt.Sprintf("%.0f", r.Throughput),
 			fmt.Sprintf("%.2f", r.P50Millis), fmt.Sprintf("%.2f", r.P99Millis),
+			readP99,
 		)
 	}
 	fmt.Fprintf(w, "%s(%d clients, seed %d)\n", tab.String(), rep.Concurrency, rep.Seed)

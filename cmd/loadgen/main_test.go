@@ -81,7 +81,7 @@ func TestRunAgainstDaemon(t *testing.T) {
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		t.Fatalf("report is not valid JSON: %v", err)
 	}
-	if rep.Target != ts.URL || rep.OpsPerWorkload != 80 || len(rep.Workloads) != 4 {
+	if rep.Target != ts.URL || rep.OpsPerWorkload != 80 || len(rep.Workloads) != 5 {
 		t.Fatalf("report shape wrong: %+v", rep)
 	}
 	for _, r := range rep.Workloads {

@@ -28,6 +28,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync/atomic"
 
 	"repro/internal/adversary"
 	"repro/internal/engine"
@@ -168,11 +170,30 @@ type workerScratch struct {
 	_     [64]byte
 }
 
+// Generation is an immutable view of one serving generation: the epoch
+// index, the ID ring, and the two group graphs built for it (Graphs[1] is
+// nil in single-graph mode). Once published it is never mutated — the next
+// RunEpoch builds a complete replacement off to the side and swaps the
+// generation pointer in one atomic store — so any number of goroutines may
+// search a Generation's graphs concurrently (with private SearchScratch
+// buffers) while the next epoch is under construction, and a holder keeps
+// a consistent pre-swap view for as long as it pins the pointer.
+type Generation struct {
+	Epoch  int
+	Ring   *ring.Ring
+	Graphs [2]*groups.Graph
+}
+
 // System is a running dynamic deployment.
 type System struct {
 	cfg   Config
 	rng   *rand.Rand
 	epoch int
+
+	// gen is the atomically-published serving generation: written only by
+	// RunEpochContext at the swap (and once at New), read lock-free by any
+	// goroutine through Generation(). It always mirrors (epoch, ids, g).
+	gen atomic.Pointer[Generation]
 
 	ids *ring.Ring          // current generation's ID set (the "old" ring)
 	bad map[ring.Point]bool //
@@ -232,6 +253,7 @@ func New(cfg Config) (*System, error) {
 	}
 	s.indexGeneration()
 	s.refreshBlue()
+	s.gen.Store(&Generation{Epoch: 0, Ring: s.ids, Graphs: s.g})
 	return s, nil
 }
 
@@ -296,6 +318,13 @@ func (s *System) refreshBlue() {
 
 // Epoch returns the current epoch index.
 func (s *System) Epoch() int { return s.epoch }
+
+// Generation returns the atomically-published serving generation. It is
+// safe to call from any goroutine at any time — including while RunEpoch
+// is mid-construction on another goroutine — and the returned value is
+// immutable: holders see a consistent (epoch, ring, graphs) triple until
+// they re-load, no matter how many swaps happen underneath.
+func (s *System) Generation() *Generation { return s.gen.Load() }
 
 // Graphs returns the current old group graphs (the second is nil in
 // single-graph mode).
@@ -500,6 +529,14 @@ func (s *System) RunEpoch() Stats {
 // per-ID randomness is hash-derived, so batching never changes results.
 const ctxBatch = 256
 
+// yieldStride is how many per-ID construction tasks a worker runs between
+// cooperative runtime.Gosched calls. Per-ID builds cost single-digit
+// microseconds, so a stride of 64 yields every few hundred microseconds —
+// frequent enough that concurrent snapshot readers sharing a processor see
+// sub-millisecond scheduling delay during a live AdvanceEpoch, cheap enough
+// (one scheduler call per stride) to vanish in the construction cost.
+const yieldStride = 64
+
 // RunEpochContext is RunEpoch with cooperative cancellation: ctx is polled
 // between per-ID construction batches and between the epoch's phases. On
 // cancellation it returns ctx.Err(), per-worker tallies are discarded, and
@@ -556,6 +593,14 @@ func (s *System) RunEpochContext(ctx context.Context) (Stats, error) {
 	// poll between batches; the split is invisible to results.
 	newPts := newRing.Points()
 	build := func(worker, wi int) {
+		// Yield every yieldStride IDs: the construction is CPU-bound for
+		// tens of milliseconds, and on small GOMAXPROCS a lock-free reader
+		// sharing the processor would otherwise wait for the runtime's
+		// coarse (~10ms) async preemption. The yield point is
+		// schedule-only — results never depend on it.
+		if wi%yieldStride == yieldStride-1 {
+			runtime.Gosched()
+		}
 		s.buildID(&s.scratch[worker], wi, newPts[wi], epochSeed, newBad, newOv, size, nGraphs)
 	}
 	if ctx.Done() == nil {
@@ -579,6 +624,9 @@ func (s *System) RunEpochContext(ctx context.Context) (Stats, error) {
 	// substream per spamming ID keeps the phase schedule-independent.
 	if s.cfg.SpamFactor > 0 && len(s.goodList) > 0 {
 		s.pool.ForEach(len(pl.Bad), func(worker, bi int) {
+			if bi%yieldStride == yieldStride-1 {
+				runtime.Gosched()
+			}
 			wk := &s.scratch[worker]
 			rng := engine.NewStream(engine.TrialSeed(epochSeed, "spam", bi))
 			for k := 0; k < s.cfg.SpamFactor; k++ {
@@ -684,7 +732,11 @@ func (s *System) RunEpochContext(ctx context.Context) (Stats, error) {
 		st.SearchFailRate = (st.SearchFailRate + probe2.SearchFailRate) / 2
 	}
 
-	// Swap generations.
+	// Swap generations: the writer-private construction state updates in
+	// place, then the immutable serving view is published in one atomic
+	// store. Readers pinned to the old Generation keep a consistent view —
+	// nothing it references (ring, graphs, member arenas) is ever touched
+	// again; the next epoch allocates fresh ones.
 	s.ids = newRing
 	s.bad = newBad
 	s.badList = pl.Bad
@@ -692,6 +744,7 @@ func (s *System) RunEpochContext(ctx context.Context) (Stats, error) {
 	s.indexGeneration()
 	s.refreshBlue()
 	s.epoch++
+	s.gen.Store(&Generation{Epoch: s.epoch, Ring: s.ids, Graphs: s.g})
 	return st, nil
 }
 

@@ -166,18 +166,17 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, `missing "key"`)
 		return
 	}
-	br, err := s.doBatched(kindLookup, req.Key, nil)
+	// Reads bypass the write queue entirely: Lookup is lock-free against
+	// the System's epoch snapshot, so it runs right here on the handler
+	// goroutine — no dispatcher round-trip, no queue slot, no 429.
+	info, err := s.sys.Lookup(r.Context(), req.Key)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	if br.Err != nil {
-		s.writeError(w, br.Err)
-		return
-	}
 	writeJSON(w, http.StatusOK, lookupResponse{
-		Key: req.Key, Owner: pointHex(br.Info.Owner),
-		Hops: br.Info.Hops, Messages: br.Info.Messages,
+		Key: req.Key, Owner: pointHex(info.Owner),
+		Hops: info.Hops, Messages: info.Messages,
 	})
 }
 
@@ -195,7 +194,7 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, `missing "key"`)
 		return
 	}
-	br, err := s.doBatched(kindPut, req.Key, req.Value)
+	br, err := s.doPut(req.Key, req.Value)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -220,16 +219,8 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, `missing "key" query parameter`)
 		return
 	}
-	var (
-		v    []byte
-		info tinygroups.LookupInfo
-		err  error
-	)
-	ctx := r.Context()
-	if eerr := s.doExec(func() { v, info, err = s.sys.Get(ctx, key) }); eerr != nil {
-		s.writeError(w, eerr)
-		return
-	}
+	// Get is a lock-free read like Lookup: no dispatcher round-trip.
+	v, info, err := s.sys.Get(r.Context(), key)
 	if err != nil {
 		s.writeError(w, err)
 		return

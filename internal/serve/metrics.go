@@ -3,19 +3,19 @@ package serve
 import "sync/atomic"
 
 // counters is the server's telemetry: request counts per endpoint, error
-// counts by class, and the batching statistics that show how well the
-// queue is coalescing. All fields are atomics — handlers and the
-// dispatcher update them concurrently — and /metrics serves a consistent
-// enough snapshot for operations (individual counters are exact; cross-
-// counter skew of a few in-flight requests is fine).
+// counts by class, and the put-coalescing statistics of the write queue.
+// All fields are atomic.Int64 — lock-free read handlers, the write
+// dispatcher, and /metrics itself touch them concurrently from different
+// goroutines — and /metrics serves a consistent snapshot (individual
+// counters are exact; cross-counter skew of a few in-flight requests is
+// fine).
 type counters struct {
 	lookups, puts, gets, computes, advances, health atomic.Int64
 	errors4xx, errors5xx                            atomic.Int64
 	queueRejects                                    atomic.Int64
 	epochsAdvanced                                  atomic.Int64
 
-	lookupBatches, lookupBatchedOps atomic.Int64
-	putBatches, putBatchedOps       atomic.Int64
+	putBatches, putBatchedOps atomic.Int64
 }
 
 // MetricsSnapshot is the /metrics JSON document.
@@ -37,17 +37,18 @@ type MetricsSnapshot struct {
 		Server int64 `json:"server_5xx"`
 	} `json:"errors"`
 
-	// Batch reports the coalescing effectiveness of the request queue:
-	// ops/calls is the mean batch size the concurrent load achieved.
+	// Batch reports the coalescing effectiveness of the write queue:
+	// ops/calls is the mean put-batch size the concurrent load achieved.
+	// Reads never batch — they resolve lock-free per request — so only
+	// puts appear here.
 	Batch struct {
-		LookupCalls int64   `json:"lookup_calls"`
-		LookupOps   int64   `json:"lookup_ops"`
-		PutCalls    int64   `json:"put_calls"`
-		PutOps      int64   `json:"put_ops"`
-		MeanLookup  float64 `json:"mean_lookup_batch"`
-		MeanPut     float64 `json:"mean_put_batch"`
+		PutCalls int64   `json:"put_calls"`
+		PutOps   int64   `json:"put_ops"`
+		MeanPut  float64 `json:"mean_put_batch"`
 	} `json:"batch"`
 
+	// QueueRejects counts write requests shed with 429 by the bounded
+	// write queue; reads are never shed.
 	QueueRejects   int64 `json:"queue_rejects"`
 	EpochsAdvanced int64 `json:"epochs_advanced"`
 }
@@ -63,13 +64,8 @@ func (c *counters) snapshot() MetricsSnapshot {
 	s.Requests.Health = c.health.Load()
 	s.Errors.Client = c.errors4xx.Load()
 	s.Errors.Server = c.errors5xx.Load()
-	s.Batch.LookupCalls = c.lookupBatches.Load()
-	s.Batch.LookupOps = c.lookupBatchedOps.Load()
 	s.Batch.PutCalls = c.putBatches.Load()
 	s.Batch.PutOps = c.putBatchedOps.Load()
-	if s.Batch.LookupCalls > 0 {
-		s.Batch.MeanLookup = float64(s.Batch.LookupOps) / float64(s.Batch.LookupCalls)
-	}
 	if s.Batch.PutCalls > 0 {
 		s.Batch.MeanPut = float64(s.Batch.PutOps) / float64(s.Batch.PutCalls)
 	}

@@ -6,19 +6,18 @@ import (
 	"repro/tinygroups"
 )
 
-// reqKind discriminates queued requests: batchable lookups and puts, and
-// exclusive closures that need the dispatcher goroutine to themselves.
+// reqKind discriminates queued requests: batchable puts, and exclusive
+// closures that need the write dispatcher to themselves.
 type reqKind uint8
 
 const (
-	kindLookup reqKind = iota
-	kindPut
+	kindPut reqKind = iota
 	kindExec
 )
 
-// request is one unit of queued work. Batchable requests carry a key (and,
-// for puts, a value) plus a buffered reply channel; exclusive requests
-// carry the closure to run.
+// request is one unit of queued write work. Puts carry a key and value
+// plus a buffered reply channel; exclusive requests carry the closure to
+// run.
 type request struct {
 	kind  reqKind
 	key   string
@@ -27,36 +26,37 @@ type request struct {
 	exec  func()
 }
 
-// dispatch is the server's system loop: it owns every call into the
-// tinygroups.System. Each iteration takes one request off the queue, then
-// greedily coalesces whatever else is already queued — up to MaxBatch per
-// kind, stopping at an exclusive request — and flushes the collected
-// lookups and puts as one LookupBatch and one PutBatch call. The batch
-// calls fan across the System's worker pool internally, so coalescing is
-// what turns N concurrent HTTP lookups into one pool-amortized sweep.
+// dispatch is the server's write loop: every serialized System operation —
+// puts, computes, epoch advances — funnels through this one goroutine, so
+// writers never contend on the System's writer mutex. Reads never come
+// here: lookup and get handlers resolve lock-free against the System's
+// epoch snapshot on their own goroutines. Each iteration takes one request
+// off the queue, then greedily coalesces whatever puts are already queued
+// — up to MaxBatch, stopping at an exclusive request — and flushes them as
+// one PutBatch call, which fans the routing across reader goroutines
+// internally.
 //
-// An exclusive request (Get, Compute, AdvanceEpoch) acts as a barrier: the
-// pending batches flush first, then the closure runs alone. After Shutdown
+// An exclusive request (Compute, AdvanceEpoch) acts as a barrier: the
+// pending puts flush first, then the closure runs alone. After Shutdown
 // closes the queue, the loop drains every remaining request before
 // exiting, so no waiter is ever abandoned.
 func (s *Server) dispatch() {
 	defer close(s.dispatcherDone)
-	looks := make([]*request, 0, s.cfg.MaxBatch)
 	puts := make([]*request, 0, s.cfg.MaxBatch)
 	for {
 		r, ok := <-s.reqs
 		if !ok {
 			return
 		}
-		looks, puts = looks[:0], puts[:0]
+		puts = puts[:0]
 		var exec *request
 		if r.kind == kindExec {
 			exec = r
 		} else {
-			looks, puts = appendPending(r, looks, puts)
-			exec = s.collect(&looks, &puts)
+			puts = append(puts, r)
+			exec = s.collect(&puts)
 		}
-		s.flush(looks, puts)
+		s.flush(puts)
 		if exec != nil {
 			exec.exec()
 		}
@@ -64,10 +64,10 @@ func (s *Server) dispatch() {
 }
 
 // collect drains requests already sitting in the queue without blocking,
-// appending batchable ones until a batch fills or an exclusive request
-// arrives (returned to the caller to run after the flush).
-func (s *Server) collect(looks, puts *[]*request) *request {
-	for len(*looks) < s.cfg.MaxBatch && len(*puts) < s.cfg.MaxBatch {
+// appending puts until a batch fills or an exclusive request arrives
+// (returned to the caller to run after the flush).
+func (s *Server) collect(puts *[]*request) *request {
+	for len(*puts) < s.cfg.MaxBatch {
 		select {
 		case r, ok := <-s.reqs:
 			if !ok {
@@ -76,7 +76,7 @@ func (s *Server) collect(looks, puts *[]*request) *request {
 			if r.kind == kindExec {
 				return r
 			}
-			*looks, *puts = appendPending(r, *looks, *puts)
+			*puts = append(*puts, r)
 		default:
 			return nil
 		}
@@ -84,43 +84,24 @@ func (s *Server) collect(looks, puts *[]*request) *request {
 	return nil
 }
 
-func appendPending(r *request, looks, puts []*request) ([]*request, []*request) {
-	if r.kind == kindLookup {
-		return append(looks, r), puts
+// flush issues the coalesced PutBatch call and replies to every waiter.
+// The batch context is Background on purpose: requests already accepted
+// are served to completion even during shutdown drain.
+func (s *Server) flush(puts []*request) {
+	if len(puts) == 0 {
+		return
 	}
-	return looks, append(puts, r)
-}
-
-// flush issues the coalesced batch calls and replies to every waiter. The
-// batch context is Background on purpose: requests already accepted are
-// served to completion even during shutdown drain.
-func (s *Server) flush(looks, puts []*request) {
-	if len(looks) > 0 {
-		if h := s.cfg.hookBeforeBatch; h != nil {
-			h()
-		}
-		keys := make([]string, len(looks))
-		for i, r := range looks {
-			keys[i] = r.key
-		}
-		res, err := s.sys.LookupBatch(context.Background(), keys)
-		s.m.lookupBatches.Add(1)
-		s.m.lookupBatchedOps.Add(int64(len(looks)))
-		reply(looks, res, err)
+	if h := s.cfg.hookBeforeBatch; h != nil {
+		h()
 	}
-	if len(puts) > 0 {
-		if h := s.cfg.hookBeforeBatch; h != nil {
-			h()
-		}
-		pairs := make([]tinygroups.KV, len(puts))
-		for i, r := range puts {
-			pairs[i] = tinygroups.KV{Key: r.key, Value: r.value}
-		}
-		res, err := s.sys.PutBatch(context.Background(), pairs)
-		s.m.putBatches.Add(1)
-		s.m.putBatchedOps.Add(int64(len(puts)))
-		reply(puts, res, err)
+	pairs := make([]tinygroups.KV, len(puts))
+	for i, r := range puts {
+		pairs[i] = tinygroups.KV{Key: r.key, Value: r.value}
 	}
+	res, err := s.sys.PutBatch(context.Background(), pairs)
+	s.m.putBatches.Add(1)
+	s.m.putBatchedOps.Add(int64(len(puts)))
+	reply(puts, res, err)
 }
 
 // reply fans the batch results back to the waiting handlers; a call-level

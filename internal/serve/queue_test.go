@@ -35,19 +35,20 @@ func (g *batchGate) config() Config {
 
 func (g *batchGate) release() { close(g.gate) }
 
-// stageBatch pushes keys through the batching queue with a deterministic
-// shape: the first key flushes alone (held at the gate until the rest are
+// stagePuts pushes puts through the write queue with a deterministic
+// shape: the first put flushes alone (held at the gate until the rest are
 // queued), then the remainder coalesce into a single second batch in
-// enqueue order. It returns the per-key lookup results in key order.
+// enqueue order. It returns the per-key results in key order.
 //
-// Pinning the batch boundaries like this matters because LookupBatch draws
-// one root seed per *call* from the system rng: identical batch shapes are
-// what make two servers' results comparable byte for byte.
-func stageBatch(t *testing.T, s *Server, g *batchGate, keys []string) []tinygroups.BatchResult {
+// The pinned shape is what the coalescing-count assertions rely on. The
+// results themselves no longer depend on it: every routed operation draws
+// from a hash-derived (epoch, key) stream, so out[i] is what any other
+// batching — or none — would produce.
+func stagePuts(t *testing.T, s *Server, g *batchGate, keys []string) []tinygroups.BatchResult {
 	t.Helper()
 	reqs := make([]*request, len(keys))
 	for i, k := range keys {
-		reqs[i] = &request{kind: kindLookup, key: k, done: make(chan tinygroups.BatchResult, 1)}
+		reqs[i] = &request{kind: kindPut, key: k, value: []byte(k), done: make(chan tinygroups.BatchResult, 1)}
 	}
 	if err := s.enqueue(reqs[0]); err != nil {
 		t.Fatalf("enqueue: %v", err)
@@ -66,9 +67,9 @@ func stageBatch(t *testing.T, s *Server, g *batchGate, keys []string) []tinygrou
 	return out
 }
 
-// TestBatchCoalescing checks the queue actually coalesces: K keys staged
-// behind a held dispatcher flush as exactly two batch calls (the held
-// first single, then the K−1 others in one LookupBatch), with every op
+// TestBatchCoalescing checks the write queue actually coalesces: K puts
+// staged behind a held dispatcher flush as exactly two batch calls (the
+// held first single, then the K−1 others in one PutBatch), with every op
 // accounted for.
 func TestBatchCoalescing(t *testing.T) {
 	g := newBatchGate()
@@ -77,16 +78,16 @@ func TestBatchCoalescing(t *testing.T) {
 	for i := range keys {
 		keys[i] = "coalesce-" + string(rune('a'+i))
 	}
-	res := stageBatch(t, s, g, keys)
+	res := stagePuts(t, s, g, keys)
 	for i, r := range res {
 		if r.Err != nil && r.Err != tinygroups.ErrUnreachable {
 			t.Fatalf("key %d: unexpected error %v", i, r.Err)
 		}
 	}
-	if calls := s.m.lookupBatches.Load(); calls != 2 {
-		t.Fatalf("lookup batch calls = %d, want 2 (1 held + 1 coalesced)", calls)
+	if calls := s.m.putBatches.Load(); calls != 2 {
+		t.Fatalf("put batch calls = %d, want 2 (1 held + 1 coalesced)", calls)
 	}
-	if ops := s.m.lookupBatchedOps.Load(); ops != int64(len(keys)) {
+	if ops := s.m.putBatchedOps.Load(); ops != int64(len(keys)) {
 		t.Fatalf("batched ops = %d, want %d", ops, len(keys))
 	}
 }
@@ -94,7 +95,7 @@ func TestBatchCoalescing(t *testing.T) {
 // TestBatchWorkerCountInvariance is the serving-layer half of the
 // determinism contract: the same key sequence, staged into the same batch
 // shape, produces byte-identical results whether the underlying System
-// fans batches across 1 worker or 4. This is what lets operators resize
+// fans routing across 1 worker or 4. This is what lets operators resize
 // the pool without changing a single served byte.
 func TestBatchWorkerCountInvariance(t *testing.T) {
 	keys := make([]string, 24)
@@ -126,28 +127,28 @@ func TestBatchWorkerCountInvariance(t *testing.T) {
 	for i, workers := range []int{1, 4} {
 		g := newBatchGate()
 		s := newTestServer(t, g.config(), tinygroups.WithWorkers(workers))
-		got[i] = marshal(stageBatch(t, s, g, keys))
+		got[i] = marshal(stagePuts(t, s, g, keys))
 	}
 	if got[0] != got[1] {
-		t.Fatalf("batched lookup results differ across worker counts:\n 1: %s\n 4: %s", got[0], got[1])
+		t.Fatalf("batched put results differ across worker counts:\n 1: %s\n 4: %s", got[0], got[1])
 	}
 }
 
-// TestMixedKindCoalescing checks lookups and puts staged together split
-// into one batch call of each kind, and that the puts land (readable
-// afterwards through Get on the dispatcher).
-func TestMixedKindCoalescing(t *testing.T) {
+// TestExecBarrierAfterFlush checks an exclusive request staged behind
+// queued puts acts as a barrier: the pending put batch flushes first, then
+// the closure runs alone, observing every put already landed.
+func TestExecBarrierAfterFlush(t *testing.T) {
 	g := newBatchGate()
 	s := newTestServer(t, g.config())
-	lk := &request{kind: kindLookup, key: "mixed-l", done: make(chan tinygroups.BatchResult, 1)}
-	if err := s.enqueue(lk); err != nil {
+	first := &request{kind: kindPut, key: "barrier-first", value: []byte("v"), done: make(chan tinygroups.BatchResult, 1)}
+	if err := s.enqueue(first); err != nil {
 		t.Fatal(err)
 	}
 	<-g.entered
 	puts := make([]*request, 8)
 	for i := range puts {
 		puts[i] = &request{
-			kind: kindPut, key: "mixed-" + string(rune('a'+i)),
+			kind: kindPut, key: "barrier-" + string(rune('a'+i)),
 			value: []byte{byte(i)},
 			done:  make(chan tinygroups.BatchResult, 1),
 		}
@@ -155,28 +156,34 @@ func TestMixedKindCoalescing(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	var opsAtExec int64
+	execDone := make(chan struct{})
+	if err := s.enqueue(&request{kind: kindExec, exec: func() {
+		opsAtExec = s.m.putBatchedOps.Load()
+		close(execDone)
+	}}); err != nil {
+		t.Fatal(err)
+	}
 	g.release()
-	<-lk.done
+	<-first.done
+	<-execDone
 	stored := ""
 	for _, r := range puts {
 		if br := <-r.done; br.Err == nil {
 			stored = r.key
 		}
 	}
-	if s.m.putBatches.Load() != 1 {
-		t.Fatalf("put batch calls = %d, want 1", s.m.putBatches.Load())
+	if opsAtExec != int64(1+len(puts)) {
+		t.Fatalf("exec ran before the pending puts flushed: saw %d batched ops, want %d", opsAtExec, 1+len(puts))
 	}
-	if s.m.putBatchedOps.Load() != int64(len(puts)) {
-		t.Fatalf("put batched ops = %d, want %d", s.m.putBatchedOps.Load(), len(puts))
+	if s.m.putBatches.Load() != 2 {
+		t.Fatalf("put batch calls = %d, want 2", s.m.putBatches.Load())
 	}
 	if stored == "" {
 		t.Skip("every staged put routed through a red group at this seed")
 	}
-	var err error
-	if eerr := s.doExec(func() { _, _, err = s.sys.Get(context.Background(), stored) }); eerr != nil {
-		t.Fatal(eerr)
-	}
-	if err != nil {
+	// Get is a lock-free read now — no dispatcher trip needed to verify.
+	if _, _, err := s.sys.Get(context.Background(), stored); err != nil {
 		t.Fatalf("Get(%q) after batched put: %v", stored, err)
 	}
 }

@@ -1,17 +1,20 @@
 // Package serve implements the HTTP/JSON serving layer behind the
 // tinygroupsd daemon: request handlers over a tinygroups.System, a bounded
-// batching queue that coalesces concurrent lookups and puts into the
-// pool-amortized LookupBatch/PutBatch calls, a background epoch ticker,
-// and graceful drain-then-close shutdown.
+// write queue that coalesces concurrent puts into amortized PutBatch
+// calls, a background epoch ticker, and graceful drain-then-close
+// shutdown.
 //
-// A tinygroups.System is not safe for concurrent use, so the server owns a
-// single dispatcher goroutine — the only code that ever touches the
-// System. HTTP handlers enqueue requests onto a bounded queue and wait for
-// their reply; the dispatcher drains the queue, coalescing adjacent
-// lookups (and puts) into one batch call each, which the System then fans
-// across its construction worker pool. Exclusive operations — Get,
-// Compute, AdvanceEpoch — run between batches on the same goroutine, so
-// every System call is serialized without a single lock on the hot path.
+// The server mirrors the System's one-writer/many-readers contract.
+// Reads — /v1/lookup and /v1/get — call the System directly from their
+// handler goroutines: Lookup and Get are lock-free against the
+// atomically-swapped epoch snapshot, so reads scale with serving
+// goroutines, never queue behind writes, and keep flat latency through a
+// live epoch advance. Writes — /v1/put, /v1/compute, /v1/epoch/advance —
+// funnel through a single dispatcher goroutine over a bounded queue: the
+// dispatcher coalesces adjacent puts into one PutBatch call and runs
+// exclusive operations (Compute, AdvanceEpoch) between batches, so
+// writers never contend on the System's writer mutex. Queue-full 429s
+// therefore apply to writes only; reads are never shed.
 //
 // Shutdown follows the drain-then-close contract: the epoch ticker is
 // cancelled first (an in-flight epoch aborts cooperatively between
@@ -36,12 +39,12 @@ import (
 // Config tunes a Server. The zero value is usable: defaults are applied by
 // New.
 type Config struct {
-	// MaxBatch bounds how many queued lookups (or puts) are coalesced into
-	// a single LookupBatch/PutBatch call. Default 256.
+	// MaxBatch bounds how many queued puts are coalesced into a single
+	// PutBatch call. Default 256.
 	MaxBatch int
-	// QueueCap bounds the request queue; a full queue fails fast with
+	// QueueCap bounds the write queue; a full queue fails fast with
 	// 429 Too Many Requests instead of building unbounded backlog.
-	// Default 1024.
+	// Reads never consume queue slots and are never shed. Default 1024.
 	QueueCap int
 	// EpochEvery, when positive, starts a background ticker that advances
 	// the epoch at that period. Ticks are closed-loop (a tick waits for
@@ -53,9 +56,9 @@ type Config struct {
 	Logf func(format string, args ...any)
 
 	// hookBeforeBatch, when non-nil, runs on the dispatcher goroutine
-	// immediately before each batch flush. Tests use it to hold a batch
-	// open while they stage concurrent requests; it must be set before
-	// New (the dispatcher starts there).
+	// immediately before each put-batch flush. Tests use it to hold a
+	// batch open while they stage concurrent requests; it must be set
+	// before New (the dispatcher starts there).
 	hookBeforeBatch func()
 }
 
@@ -90,8 +93,10 @@ type Server struct {
 	tickCancel context.CancelFunc
 	tickerDone chan struct{}
 
-	// epoch mirrors the System's epoch counter so /healthz and /metrics
-	// can read it without a trip through the dispatcher.
+	// epoch mirrors the last epoch counter the server observed, so
+	// /healthz and /metrics keep answering after Shutdown closes the
+	// System. While the System is live they could equally read
+	// sys.Epoch() — it is lock-free.
 	epoch atomic.Int64
 	start time.Time
 	m     counters
@@ -206,8 +211,10 @@ func (s *Server) draining() bool {
 	return s.closed
 }
 
-// enqueue places r on the bounded queue, failing fast with errQueueFull
-// when it is saturated and errDraining once Shutdown has begun.
+// enqueue places r on the bounded write queue, failing fast with
+// errQueueFull when it is saturated and errDraining once Shutdown has
+// begun. Reads never call this: they resolve lock-free against the
+// System's epoch snapshot without consuming a queue slot.
 func (s *Server) enqueue(r *request) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -223,10 +230,9 @@ func (s *Server) enqueue(r *request) error {
 	}
 }
 
-// doBatched enqueues one batchable operation (a lookup or a put) and waits
-// for the dispatcher's reply.
-func (s *Server) doBatched(k reqKind, key string, value []byte) (tinygroups.BatchResult, error) {
-	r := &request{kind: k, key: key, value: value, done: make(chan tinygroups.BatchResult, 1)}
+// doPut enqueues one put and waits for the dispatcher's reply.
+func (s *Server) doPut(key string, value []byte) (tinygroups.BatchResult, error) {
+	r := &request{kind: kindPut, key: key, value: value, done: make(chan tinygroups.BatchResult, 1)}
 	if err := s.enqueue(r); err != nil {
 		return tinygroups.BatchResult{}, err
 	}
@@ -234,8 +240,8 @@ func (s *Server) doBatched(k reqKind, key string, value []byte) (tinygroups.Batc
 }
 
 // doExec runs fn on the dispatcher goroutine, serialized against every
-// other System access, and waits for it to finish. fn runs even during
-// shutdown drain, so callers always get an answer.
+// other write, and waits for it to finish. fn runs even during shutdown
+// drain, so callers always get an answer.
 func (s *Server) doExec(fn func()) error {
 	done := make(chan struct{})
 	r := &request{kind: kindExec, exec: func() { fn(); close(done) }}

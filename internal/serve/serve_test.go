@@ -271,8 +271,9 @@ func TestEpochTicker(t *testing.T) {
 	}
 }
 
-// TestQueueFull checks the bounded queue fails fast: with the dispatcher
-// held and a capacity-1 queue, the third concurrent request gets 429.
+// TestQueueFull checks the bounded write queue fails fast: with the
+// dispatcher held and a capacity-1 queue, the third concurrent put gets
+// 429 — while reads, which never consume queue slots, keep succeeding.
 func TestQueueFull(t *testing.T) {
 	gate := make(chan struct{})
 	entered := make(chan struct{}, 16)
@@ -284,24 +285,29 @@ func TestQueueFull(t *testing.T) {
 		},
 	})
 
-	// First request: taken by the dispatcher, held at the flush hook.
-	r1 := &request{kind: kindLookup, key: "a", done: make(chan tinygroups.BatchResult, 1)}
+	// First put: taken by the dispatcher, held at the flush hook.
+	r1 := &request{kind: kindPut, key: "a", done: make(chan tinygroups.BatchResult, 1)}
 	if err := s.enqueue(r1); err != nil {
 		t.Fatalf("enqueue 1: %v", err)
 	}
 	<-entered
-	// Second request: sits in the capacity-1 queue.
-	r2 := &request{kind: kindLookup, key: "b", done: make(chan tinygroups.BatchResult, 1)}
+	// Second put: sits in the capacity-1 queue.
+	r2 := &request{kind: kindPut, key: "b", done: make(chan tinygroups.BatchResult, 1)}
 	if err := s.enqueue(r2); err != nil {
 		t.Fatalf("enqueue 2: %v", err)
 	}
-	// Third request: queue full.
-	r3 := &request{kind: kindLookup, key: "c", done: make(chan tinygroups.BatchResult, 1)}
+	// Third put: queue full.
+	r3 := &request{kind: kindPut, key: "c", done: make(chan tinygroups.BatchResult, 1)}
 	if err := s.enqueue(r3); err != errQueueFull {
 		t.Fatalf("enqueue 3: err = %v, want errQueueFull", err)
 	}
 	if got, code := statusOf(errQueueFull); got != http.StatusTooManyRequests || code != "queue_full" {
 		t.Fatalf("statusOf(errQueueFull) = (%d, %q)", got, code)
+	}
+	// Reads bypass the queue entirely: a lookup succeeds even with the
+	// write queue saturated and the dispatcher wedged.
+	if _, err := s.sys.Lookup(context.Background(), "read-during-full"); err != nil && err != tinygroups.ErrUnreachable {
+		t.Fatalf("lookup with saturated write queue: %v", err)
 	}
 	close(gate)
 	<-r1.done
@@ -311,9 +317,9 @@ func TestQueueFull(t *testing.T) {
 	}
 }
 
-// TestShutdownDrainsInflight stages requests behind a held dispatcher,
-// begins Shutdown while they are queued, and checks every one of them
-// still receives a real routed response before the System closes — the
+// TestShutdownDrainsInflight stages puts behind a held dispatcher, begins
+// Shutdown while they are queued, and checks every one of them still
+// receives a real routed response before the System closes — the
 // drain-then-close contract.
 func TestShutdownDrainsInflight(t *testing.T) {
 	gate := make(chan struct{})
@@ -343,7 +349,7 @@ func TestShutdownDrainsInflight(t *testing.T) {
 	replies := make(chan reply, inflight)
 	post := func(key string) {
 		body, _ := json.Marshal(map[string]string{"key": key})
-		resp, err := http.Post(ts.URL+"/v1/lookup", "application/json", bytes.NewReader(body))
+		resp, err := http.Post(ts.URL+"/v1/put", "application/json", bytes.NewReader(body))
 		if err != nil {
 			replies <- reply{err: err}
 			return
@@ -353,7 +359,7 @@ func TestShutdownDrainsInflight(t *testing.T) {
 		replies <- reply{status: resp.StatusCode}
 	}
 
-	// One request reaches the dispatcher and is held at the flush hook...
+	// One put reaches the dispatcher and is held at the flush hook...
 	go post("drain-0")
 	<-entered
 	// ...then more arrive and stack up in the queue behind it.
@@ -361,9 +367,9 @@ func TestShutdownDrainsInflight(t *testing.T) {
 		go post(fmt.Sprintf("drain-%d", i))
 	}
 	deadline := time.Now().Add(10 * time.Second)
-	for s.m.lookups.Load() < inflight {
+	for s.m.puts.Load() < inflight {
 		if time.Now().After(deadline) {
-			t.Fatalf("only %d/%d requests arrived", s.m.lookups.Load(), inflight)
+			t.Fatalf("only %d/%d requests arrived", s.m.puts.Load(), inflight)
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -395,15 +401,21 @@ func TestShutdownDrainsInflight(t *testing.T) {
 		t.Fatalf("Shutdown: %v", err)
 	}
 
-	// After the drain the server refuses work and reports draining.
-	body, _ := json.Marshal(map[string]string{"key": "late"})
-	resp, err := http.Post(ts.URL+"/v1/lookup", "application/json", bytes.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("post-shutdown lookup: status %d, want 503", resp.StatusCode)
+	// After the drain the server refuses work: a late put hits the closed
+	// write queue, and a late lookup hits the closed System (ErrClosed) —
+	// both map to 503 "closed".
+	for _, path := range []string{"/v1/put", "/v1/lookup"} {
+		body, _ := json.Marshal(map[string]string{"key": "late"})
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		status := resp.StatusCode
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if status != http.StatusServiceUnavailable {
+			t.Fatalf("post-shutdown %s: status %d, want 503", path, status)
+		}
 	}
 	hresp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {

@@ -2,9 +2,9 @@ package tinygroups
 
 import (
 	"context"
-
-	"repro/internal/engine"
-	"repro/internal/groups"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // KV is one key/value pair of a PutBatch.
@@ -24,13 +24,14 @@ type BatchResult struct {
 // batchChunk bounds how many keys are fanned out between context polls.
 const batchChunk = 1024
 
-// searchBatch fans one routed search per key across the system's
-// persistent worker pool and fills results by key index. Per-key
-// randomness comes from a hash-derived stream (one root draw from the
-// system rng per batch), so results are deterministic and independent of
-// the worker count; observer events are emitted in key order afterwards.
+// searchBatch fans one routed search per key across short-lived reader
+// goroutines, all resolving against the same pinned snapshot, and fills
+// results by key index. Per-key randomness is the same hash-derived
+// (epoch, key) stream single-key reads use, so out[i] is byte-identical
+// to Lookup(keys[i]) and independent of the fan-out width; observer
+// events are emitted in key order afterwards.
 func (s *System) searchBatch(ctx context.Context, op Op, keys []string) ([]BatchResult, error) {
-	if s.closed {
+	if s.closed.Load() {
 		return nil, ErrClosed
 	}
 	if err := ctx.Err(); err != nil {
@@ -40,36 +41,46 @@ func (s *System) searchBatch(ctx context.Context, op Op, keys []string) ([]Batch
 	if len(keys) == 0 {
 		return out, nil
 	}
-	batchSeed := s.rng.Int63()
-	pool := s.dyn.Pool()
-	if len(s.batchSc) < pool.Workers() {
-		s.batchSc = make([]groups.SearchScratch, pool.Workers())
+	snap := s.snap.Load()
+	workers := s.cfg.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	g := s.dyn.Graphs()[0]
-	r := g.Overlay().Ring()
 	for lo := 0; lo < len(keys); lo += batchChunk {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		hi := min(lo+batchChunk, len(keys))
-		pool.ForEach(hi-lo, func(worker, i int) {
-			idx := lo + i
-			rng := engine.NewStream(engine.TrialSeed(batchSeed, "batch", idx))
-			src := r.At(rng.Intn(r.Len()))
-			p := keyHash.PointString(keys[idx])
-			res := g.SearchOutcome(src, p, &s.batchSc[worker])
-			info := LookupInfo{Hops: res.Hops, Messages: res.Messages}
-			if !res.OK {
-				out[idx] = BatchResult{Info: info, Err: ErrUnreachable}
-				return
+		w := min(workers, hi-lo)
+		if w == 1 {
+			sc := s.getScratch()
+			for idx := lo; idx < hi; idx++ {
+				info, err := snap.lookupAt(keys[idx], sc)
+				out[idx] = BatchResult{Info: info, Err: err}
 			}
-			oi := res.LastRank
-			if oi < 0 {
-				oi = r.SuccessorIndex(p)
-			}
-			info.Owner = Point(r.At(oi))
-			out[idx] = BatchResult{Info: info}
-		})
+			s.putScratch(sc)
+			continue
+		}
+		var next atomic.Int64
+		next.Store(int64(lo))
+		var wg sync.WaitGroup
+		for i := 0; i < w; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sc := s.getScratch()
+				defer s.putScratch(sc)
+				for {
+					idx := int(next.Add(1)) - 1
+					if idx >= hi {
+						return
+					}
+					info, err := snap.lookupAt(keys[idx], sc)
+					out[idx] = BatchResult{Info: info, Err: err}
+				}
+			}()
+		}
+		wg.Wait()
 	}
 	if obs := s.cfg.observer; obs != nil {
 		for i, br := range out {
@@ -82,18 +93,23 @@ func (s *System) searchBatch(ctx context.Context, op Op, keys []string) ([]Batch
 	return out, nil
 }
 
-// LookupBatch routes every key concurrently over the system's worker pool
-// and returns per-key results in key order. It amortizes the fan-out cost
-// of many lookups; semantics per key match Lookup. The call-level error is
-// non-nil only for ErrClosed or context cancellation.
+// LookupBatch routes every key concurrently against one pinned epoch
+// snapshot and returns per-key results in key order. It is lock-free like
+// Lookup — safe from any goroutine, including during a live AdvanceEpoch —
+// and each out[i] equals what Lookup(keys[i]) would return against the
+// same epoch. The call-level error is non-nil only for ErrClosed or
+// context cancellation.
 func (s *System) LookupBatch(ctx context.Context, keys []string) ([]BatchResult, error) {
 	return s.searchBatch(ctx, OpLookup, keys)
 }
 
 // PutBatch stores every pair whose owner is securely reachable, routing
-// all keys concurrently over the worker pool. Per-key results report which
-// puts landed; semantics per key match Put.
+// all keys concurrently. Per-key results report which puts landed;
+// semantics per key match Put. PutBatch is a write: concurrent calls are
+// safe but serialize on the writer mutex.
 func (s *System) PutBatch(ctx context.Context, pairs []KV) ([]BatchResult, error) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	keys := make([]string, len(pairs))
 	for i, kv := range pairs {
 		keys[i] = kv.Key
@@ -108,7 +124,7 @@ func (s *System) PutBatch(ctx context.Context, pairs []KV) ([]BatchResult, error
 		}
 		v := make([]byte, len(pairs[i].Value))
 		copy(v, pairs[i].Value)
-		s.store[pairs[i].Key] = v
+		s.store.Store(pairs[i].Key, v)
 	}
 	return out, nil
 }

@@ -34,11 +34,30 @@
 // construction batches: on cancellation the epoch aborts cleanly (the
 // generation swap never happens) and the System keeps serving the old
 // generation. Close releases the construction worker pool; operations on
-// a closed System fail with ErrClosed.
+// a closed System fail with ErrClosed, except reads through a Snapshot
+// pinned before the close.
 //
-// A System is not safe for concurrent use by multiple goroutines; the
-// batch operations (LookupBatch, PutBatch) parallelize internally across
-// the system's persistent worker pool instead.
+// # Concurrency
+//
+// A System is safe for concurrent use, with a one-writer/many-readers
+// contract:
+//
+//   - Reads — Lookup, Get, LookupBatch, Snapshot, Epoch, N, GroupSize —
+//     are lock-free. Each call atomically loads the current epoch
+//     snapshot (an immutable view of one generation's graphs, ring and
+//     rank tables) and resolves entirely against it, so reads scale
+//     linearly with reader goroutines and never block behind a write.
+//   - Writes — Put, PutBatch, Compute, AdvanceEpoch, Robustness, Close —
+//     serialize on an internal writer mutex. Concurrent calls are safe;
+//     they simply queue.
+//
+// A read racing an epoch flip has snapshot semantics: AdvanceEpoch builds
+// the upcoming generation entirely off to the side and publishes it by
+// swapping one atomic pointer, so every read is answered by exactly one
+// generation — whichever the call loaded — never a mix, and no read ever
+// stalls behind an in-flight construction. Callers that need several
+// reads answered by one consistent generation pin it explicitly with
+// System.Snapshot.
 //
 // # Observability
 //
@@ -51,7 +70,11 @@
 //
 // Two Systems built with the same options execute identical operation
 // sequences identically: all randomness derives from WithSeed, and worker
-// counts (WithWorkers, batch operations) affect wall-clock only.
+// counts (WithWorkers, batch operations) affect wall-clock only. Reads
+// draw their search randomness from a hash-derived stream keyed on
+// (seed, epoch, key) — a read's result is a pure function of those three,
+// so it is also byte-identical at any reader count, in or out of a batch,
+// and under any interleaving with other operations.
 //
 // # Stability
 //

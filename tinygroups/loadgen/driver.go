@@ -54,12 +54,22 @@ type Result struct {
 	P99Millis   float64 `json:"p99_ms"`
 	MeanMillis  float64 `json:"mean_ms"`
 	MaxMillis   float64 `json:"max_ms"`
+	// ReadOps / ReadP50Millis / ReadP99Millis cover only the lookup and
+	// get operations of the workload. For workloads that mix reads with
+	// epoch advances (churn-heavy, epoch-storm) the overall quantiles are
+	// dominated by the advances; the read-only quantiles are what show
+	// whether reads stay fast while an advance is in flight. Zero when
+	// the workload issued no reads.
+	ReadOps       int     `json:"read_ops,omitempty"`
+	ReadP50Millis float64 `json:"read_p50_ms,omitempty"`
+	ReadP99Millis float64 `json:"read_p99_ms,omitempty"`
 }
 
 // workerTally is one worker's private accounting, merged after the run so
 // the hot loop shares nothing.
 type workerTally struct {
 	lat                                metrics.Summary
+	readLat                            metrics.Summary
 	ok, unreachable, notFound, errored int
 }
 
@@ -87,7 +97,11 @@ func Run(ctx context.Context, target Target, gen Generator, cfg Config) (Result,
 				op := gen.Op(cfg.Seed, i)
 				t0 := time.Now()
 				out, err := target.Do(ctx, op)
-				t.lat.Add(float64(time.Since(t0)) / float64(time.Millisecond))
+				ms := float64(time.Since(t0)) / float64(time.Millisecond)
+				t.lat.Add(ms)
+				if op.Kind == KindLookup || op.Kind == KindGet {
+					t.readLat.Add(ms)
+				}
 				switch {
 				case err != nil:
 					t.errored++
@@ -104,11 +118,12 @@ func Run(ctx context.Context, target Target, gen Generator, cfg Config) (Result,
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var lat metrics.Summary
+	var lat, readLat metrics.Summary
 	res := Result{Workload: gen.Name(), Seconds: elapsed.Seconds()}
 	for i := range tallies {
 		t := &tallies[i]
 		lat.Merge(&t.lat)
+		readLat.Merge(&t.readLat)
 		res.OK += t.ok
 		res.Unreachable += t.unreachable
 		res.NotFound += t.notFound
@@ -122,6 +137,10 @@ func Run(ctx context.Context, target Target, gen Generator, cfg Config) (Result,
 	res.P99Millis = lat.Quantile(0.99)
 	res.MeanMillis = lat.Mean()
 	res.MaxMillis = lat.Max()
+	if res.ReadOps = readLat.N(); res.ReadOps > 0 {
+		res.ReadP50Millis = readLat.Quantile(0.50)
+		res.ReadP99Millis = readLat.Quantile(0.99)
+	}
 	return res, ctx.Err()
 }
 

@@ -17,10 +17,12 @@
 //	})
 //	fmt.Println(res.Throughput, res.P50Millis, res.P99Millis)
 //
-// The built-in generators cover the four canonical traffic shapes: uniform
-// reads, Zipf-like hotspot reads, a read/write mix, and churn-heavy
-// traffic that interleaves epoch turnovers with lookups. Suite returns all
-// four for the standard sweep recorded in BENCH_service.json.
+// The built-in generators cover five canonical traffic shapes: uniform
+// reads, Zipf-like hotspot reads, a read/write mix, churn-heavy traffic
+// that interleaves epoch turnovers with lookups, and epoch-storm — reads
+// sustained while epoch advances fire near-continuously, the probe for
+// the lock-free snapshot read path. Suite returns all five for the
+// standard sweep recorded in BENCH_service.json.
 package loadgen
 
 import (
@@ -224,15 +226,52 @@ func (g *churn) Op(seed int64, i int) Op {
 	return Op{Kind: KindLookup, Key: keyOf(rng.Intn(g.keys))}
 }
 
-// Suite returns the standard 4-workload sweep — uniform, zipf-hotspot
-// (skew 4), readwrite-mix (10% writes) and churn-heavy (one advance per
-// advanceEvery ops) — over a keyspace of the given size. This is the
-// sweep cmd/loadgen runs and BENCH_service.json records.
+// storm is the EpochStorm generator.
+type storm struct {
+	keys         int
+	advanceEvery int
+	scope        string
+}
+
+// EpochStorm returns a workload of sustained uniform lookups with epoch
+// advances fired far more often than churn-heavy — one per advanceEvery
+// ops, default 100 — so that under a concurrent closed-loop driver the
+// reads overlap live epoch constructions almost continuously. It is the
+// serving-layer probe for the lock-free read path: with reads resolving
+// against the atomically-swapped epoch snapshot, read p99 should stay
+// within ~2x of the steady-state workloads instead of stalling behind
+// each construction. The advance positions are fixed by index, so the
+// storm schedule is part of the deterministic stream.
+func EpochStorm(keys, advanceEvery int) Generator {
+	if advanceEvery <= 0 {
+		advanceEvery = 100
+	}
+	return &storm{keys: clampKeys(keys), advanceEvery: advanceEvery, scope: "loadgen/epochstorm"}
+}
+
+// Name implements Generator.
+func (g *storm) Name() string { return "epoch-storm" }
+
+// Op implements Generator.
+func (g *storm) Op(seed int64, i int) Op {
+	if i%g.advanceEvery == g.advanceEvery-1 {
+		return Op{Kind: KindAdvance}
+	}
+	rng := stream(g.scope, seed, i)
+	return Op{Kind: KindLookup, Key: keyOf(rng.Intn(g.keys))}
+}
+
+// Suite returns the standard 5-workload sweep — uniform, zipf-hotspot
+// (skew 4), readwrite-mix (10% writes), churn-heavy (one advance per
+// advanceEvery ops) and epoch-storm (one advance per advanceEvery/5 ops,
+// floored at 1) — over a keyspace of the given size. This is the sweep
+// cmd/loadgen runs and BENCH_service.json records.
 func Suite(keys, advanceEvery int) []Generator {
 	return []Generator{
 		Uniform(keys),
 		ZipfHotspot(keys, 4),
 		ReadWriteMix(keys, 0.1),
 		ChurnHeavy(keys, advanceEvery),
+		EpochStorm(keys, max(advanceEvery/5, 1)),
 	}
 }

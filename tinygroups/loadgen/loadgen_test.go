@@ -101,6 +101,21 @@ func TestGeneratorShapes(t *testing.T) {
 			}
 		}
 	})
+
+	t.Run("epoch-storm", func(t *testing.T) {
+		const every = 20
+		g := EpochStorm(keys, every)
+		for i := 0; i < ops; i++ {
+			op := g.Op(1, i)
+			wantAdvance := i%every == every-1
+			if (op.Kind == KindAdvance) != wantAdvance {
+				t.Fatalf("op %d: kind %v, storm schedule broken", i, op.Kind)
+			}
+			if !wantAdvance && op.Kind != KindLookup {
+				t.Fatalf("op %d: kind %v, want lookup between advances", i, op.Kind)
+			}
+		}
+	})
 }
 
 // TestRunSystemTarget drives the closed loop against an in-process System
@@ -133,7 +148,7 @@ func TestRunSystemTarget(t *testing.T) {
 	}
 }
 
-// TestRunSuiteHTTP is the end-to-end path: the full 4-workload sweep
+// TestRunSuiteHTTP is the end-to-end path: the full 5-workload sweep
 // against a live serving layer over httptest, exactly what cmd/loadgen
 // does against the daemon.
 func TestRunSuiteHTTP(t *testing.T) {
@@ -161,8 +176,8 @@ func TestRunSuiteHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Workloads) != 4 {
-		t.Fatalf("workloads = %d, want 4", len(rep.Workloads))
+	if len(rep.Workloads) != 5 {
+		t.Fatalf("workloads = %d, want 5", len(rep.Workloads))
 	}
 	for _, r := range rep.Workloads {
 		if r.Ops != 120 {
@@ -172,7 +187,7 @@ func TestRunSuiteHTTP(t *testing.T) {
 			t.Fatalf("%s: %d transport errors", r.Workload, r.Errors)
 		}
 	}
-	if rep.Workloads[3].Workload != "churn-heavy" {
+	if rep.Workloads[3].Workload != "churn-heavy" || rep.Workloads[4].Workload != "epoch-storm" {
 		t.Fatalf("sweep order broken: %v", rep.Workloads)
 	}
 }

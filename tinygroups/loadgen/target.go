@@ -9,7 +9,6 @@ import (
 	"io"
 	"net/http"
 	"net/url"
-	"sync"
 	"time"
 
 	"repro/tinygroups"
@@ -156,11 +155,11 @@ func (t *HTTPTarget) Do(ctx context.Context, op Op) (Outcome, error) {
 }
 
 // SystemTarget drives an in-process tinygroups.System directly — the
-// no-network baseline, and the target unit tests use. The System is not
-// safe for concurrent use, so ops serialize through a mutex; batching
-// (and therefore the daemon's coalescing speedup) does not apply here.
+// no-network baseline, and the target unit tests use. A System is safe
+// for concurrent use (reads are lock-free against the epoch snapshot;
+// writes serialize on the System's own writer mutex), so the closed-loop
+// workers call it directly with no serialization in the target.
 type SystemTarget struct {
-	mu  sync.Mutex
 	sys *tinygroups.System
 }
 
@@ -171,8 +170,6 @@ func NewSystemTarget(sys *tinygroups.System) *SystemTarget {
 
 // Do implements Target over the library API.
 func (t *SystemTarget) Do(ctx context.Context, op Op) (Outcome, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	var err error
 	switch op.Kind {
 	case KindLookup:

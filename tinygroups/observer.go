@@ -53,9 +53,12 @@ type MintEvent struct {
 }
 
 // Observer receives system telemetry. Calls are synchronous, on the
-// goroutine running the operation, and always sequential — implementations
-// need no locking but must be fast. Batch operations report their search
-// events in key order after the parallel phase completes. A nil observer
+// goroutine running the operation — and because reads are lock-free, two
+// concurrent readers invoke ObserveSearch concurrently: implementations
+// must be safe for concurrent use (atomics or a mutex) and fast. Epoch
+// events (ObserveEpoch, ObserveMint) come only from the serialized writer
+// and never race each other. Batch operations report their search events
+// in key order after the parallel phase completes. A nil observer
 // disables all of this at zero cost (no event values are built).
 type Observer interface {
 	// ObserveSearch is called once per routed operation (Lookup, Put, Get,

@@ -1,0 +1,9 @@
+//go:build race
+
+package tinygroups
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Alloc-count gates skip under it: sync.Pool intentionally drops
+// items in race mode to widen interleavings, so pooled paths that are
+// allocation-free in normal builds are not in race builds.
+const raceEnabled = true

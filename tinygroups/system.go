@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/adversary"
 	"repro/internal/ba"
@@ -106,21 +108,42 @@ type ComputeResult struct {
 
 // System is a running ε-robust deployment: a dynamic two-group-graph
 // construction plus a replicated store keyed into its ID space. Create
-// one with New, release it with Close. A System is not safe for
-// concurrent use; batch operations parallelize internally.
+// one with New, release it with Close.
+//
+// A System is safe for concurrent use. Reads — Lookup, Get, LookupBatch,
+// Snapshot, Epoch, N, GroupSize — are lock-free: they resolve against the
+// current epoch snapshot (an immutable generation view swapped atomically
+// by AdvanceEpoch) and scale with reader goroutines. Writes — Put,
+// PutBatch, Compute, AdvanceEpoch, Robustness, Close — serialize on an
+// internal writer mutex; see the package documentation for the full
+// contract.
 type System struct {
 	cfg config
 	dyn *epoch.System
+
+	// snap is the atomically-swapped epoch snapshot every read resolves
+	// against: written only at construction and by AdvanceEpoch (under
+	// wmu), loaded lock-free by any reader.
+	snap atomic.Pointer[snapshot]
+	// scratch pools the per-call search buffers of the lock-free read
+	// path; see scratchPool.
+	scratch scratchPool
+	// closed gates every operation after Close. Reads load it lock-free.
+	closed atomic.Bool
+
+	// wmu serializes the writers. It is never taken on the read path.
+	wmu sync.Mutex
+	// rng is the writer-side randomness (Robustness sampling); guarded by
+	// wmu. Reads never touch it — their randomness is hash-derived per
+	// (epoch, key), which is what makes results independent of reader
+	// interleaving.
 	rng *rand.Rand
-	// store replicates values at the group of each key's owner. Values
-	// survive churn (they are re-homed when the ring turns over, exactly
-	// like resources in a DHT).
-	store map[string][]byte
-	// sc backs the sequential operations' path-free searches; batchSc
-	// holds one scratch per pool worker for the batch operations.
-	sc      groups.SearchScratch
-	batchSc []groups.SearchScratch
-	closed  bool
+	// store replicates values at the group of each key's owner, keyed
+	// string → []byte. Values survive churn (they are re-homed when the
+	// ring turns over, exactly like resources in a DHT). Writers replace
+	// whole value slices under wmu and never mutate one in place, so
+	// lock-free readers always observe a complete value.
+	store sync.Map
 }
 
 // New builds a System of n IDs with trusted initialization (Appendix X)
@@ -152,19 +175,23 @@ func New(n int, opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
-	return &System{
-		cfg:   c,
-		dyn:   dyn,
-		rng:   rand.New(rand.NewSource(c.seed + 0x5eed)),
-		store: make(map[string][]byte),
-	}, nil
+	s := &System{
+		cfg: c,
+		dyn: dyn,
+		rng: rand.New(rand.NewSource(c.seed + 0x5eed)),
+	}
+	s.snap.Store(newSnapshot(c.seed, dyn.Generation()))
+	return s, nil
 }
 
 // Close releases the system's construction worker pool. It is idempotent;
-// every other operation on a closed System fails with ErrClosed.
+// every other operation on a closed System fails with ErrClosed, except
+// reads through a Snapshot pinned before the close (immutable generation
+// data needs no pool).
 func (s *System) Close() error {
-	if !s.closed {
-		s.closed = true
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if s.closed.CompareAndSwap(false, true) {
 		s.dyn.Close()
 	}
 	return nil
@@ -173,13 +200,24 @@ func (s *System) Close() error {
 // N returns the configured system size.
 func (s *System) N() int { return s.cfg.n }
 
-// Epoch returns the current epoch index.
-func (s *System) Epoch() int { return s.dyn.Epoch() }
+// Epoch returns the current epoch index. It reads the epoch snapshot
+// lock-free, so it is safe from any goroutine — including concurrently
+// with an in-flight AdvanceEpoch, which it observes only once the swap
+// commits.
+func (s *System) Epoch() int { return s.snap.Load().gen.Epoch }
 
 // GroupSize returns the tiny-group size Θ(log log n) in force.
-func (s *System) GroupSize() int { return s.dyn.Graphs()[0].GroupSize() }
+func (s *System) GroupSize() int { return s.snap.Load().gen.Graphs[0].GroupSize() }
 
-// observeSearch forwards one search outcome to the observer, if any.
+// getScratch borrows a search-scratch buffer for one lock-free read.
+func (s *System) getScratch() *groups.SearchScratch { return s.scratch.get() }
+
+// putScratch returns a borrowed scratch to the pool.
+func (s *System) putScratch(sc *groups.SearchScratch) { s.scratch.put(sc) }
+
+// observeSearch forwards one search outcome to the observer, if any. With
+// concurrent readers, observer calls happen on the reading goroutines —
+// see the Observer documentation for the concurrency contract.
 func (s *System) observeSearch(op Op, key string, ok bool, owner Point, hops int, msgs int64) {
 	if s.cfg.observer == nil {
 		return
@@ -189,80 +227,84 @@ func (s *System) observeSearch(op Op, key string, ok bool, owner Point, hops int
 	})
 }
 
-// lookup routes from a u.a.r. ID to the owner of key through the group
-// graph — the zero-allocation core of every keyed operation.
+// lookup routes key to its owner against the current epoch snapshot — the
+// zero-allocation, lock-free core of every keyed operation. The search
+// source is drawn from a hash-derived per-(epoch, key) stream, so the
+// result is a pure function of (seed, epoch, key): byte-identical at any
+// reader count and under any interleaving with other operations.
 func (s *System) lookup(ctx context.Context, op Op, key string) (LookupInfo, error) {
-	if s.closed {
+	if s.closed.Load() {
 		return LookupInfo{}, ErrClosed
 	}
 	if err := ctx.Err(); err != nil {
 		return LookupInfo{}, err
 	}
-	g := s.dyn.Graphs()[0]
-	r := g.Overlay().Ring()
-	src := r.At(s.rng.Intn(r.Len()))
-	p := keyHash.PointString(key)
-	res := g.SearchOutcome(src, p, &s.sc)
-	info := LookupInfo{Hops: res.Hops, Messages: res.Messages}
-	if !res.OK {
-		s.observeSearch(op, key, false, 0, res.Hops, res.Messages)
-		return info, ErrUnreachable
-	}
-	oi := res.LastRank
-	if oi < 0 {
-		oi = r.SuccessorIndex(p)
-	}
-	info.Owner = Point(r.At(oi))
-	s.observeSearch(op, key, true, info.Owner, res.Hops, res.Messages)
-	return info, nil
+	snap := s.snap.Load()
+	sc := s.getScratch()
+	info, err := snap.lookupAt(key, sc)
+	s.putScratch(sc)
+	s.observeSearch(op, key, err == nil, info.Owner, info.Hops, info.Messages)
+	return info, err
 }
 
-// Lookup routes from a u.a.r. ID to the owner of key through the group
-// graph. It fails with ErrUnreachable when the search path traverses a
-// red group (the ε-fraction Theorem 3 concedes).
+// Lookup routes from a deterministically-drawn ID to the owner of key
+// through the group graph. It fails with ErrUnreachable when the search
+// path traverses a red group (the ε-fraction Theorem 3 concedes). Lookup
+// is lock-free and safe to call from any number of goroutines; a call
+// racing an epoch flip is answered entirely by one generation — the one
+// whose snapshot it loaded — never a mix.
 func (s *System) Lookup(ctx context.Context, key string) (LookupInfo, error) {
 	return s.lookup(ctx, OpLookup, key)
 }
 
 // Put stores a value under key at the owner group (replicated across its
-// members). It fails if the owner cannot be reached securely.
+// members). It fails if the owner cannot be reached securely. Put is a
+// write: concurrent calls are safe but serialize on the writer mutex.
 func (s *System) Put(ctx context.Context, key string, value []byte) (LookupInfo, error) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	info, err := s.lookup(ctx, OpPut, key)
 	if err != nil {
 		return info, err
 	}
 	v := make([]byte, len(value))
 	copy(v, value)
-	s.store[key] = v
+	s.store.Store(key, v)
 	return info, nil
 }
 
 // Get retrieves a value. It fails with ErrUnreachable if the route is
-// insecure, or with ErrNotFound if the key was never stored.
+// insecure, or with ErrNotFound if the key was never stored. Get is
+// lock-free and safe from any goroutine; racing a Put of the same key it
+// returns either the complete old value or the complete new one.
 func (s *System) Get(ctx context.Context, key string) ([]byte, LookupInfo, error) {
 	info, err := s.lookup(ctx, OpGet, key)
 	if err != nil {
 		return nil, info, err
 	}
-	v, ok := s.store[key]
+	v, ok := s.store.Load(key)
 	if !ok {
 		return nil, info, ErrNotFound
 	}
-	out := make([]byte, len(v))
-	copy(out, v)
+	stored := v.([]byte)
+	out := make([]byte, len(stored))
+	copy(out, stored)
 	return out, info, nil
 }
 
 // Compute runs the job identified by jobKey on the group responsible for
 // it: the members execute phase-king Byzantine agreement on the job's
 // input bit. A good group always computes correctly (the paper's
-// "reliable processor"); a bad group may not.
+// "reliable processor"); a bad group may not. Compute is an exclusive
+// operation: concurrent calls are safe but serialize on the writer mutex.
 func (s *System) Compute(ctx context.Context, jobKey string, input int) (ComputeResult, error) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	info, err := s.lookup(ctx, OpCompute, jobKey)
 	if err != nil {
 		return ComputeResult{}, err
 	}
-	g := s.dyn.Graphs()[0]
+	g := s.snap.Load().gen.Graphs[0]
 	grp := g.Group(ring.Point(info.Owner))
 	if grp == nil {
 		return ComputeResult{}, fmt.Errorf("tinygroups: owner %v leads no group", info.Owner)
@@ -296,18 +338,26 @@ func (s *System) Compute(ctx context.Context, jobKey string, input int) (Compute
 // construction and returns the epoch's construction statistics. Stored
 // values persist (they re-home to the new owners).
 //
+// The upcoming generation is built entirely off to the side — reads keep
+// resolving against the current snapshot, lock-free, for the whole
+// construction — and the snapshot pointer flips in O(1) once the swap
+// commits. Concurrent AdvanceEpoch calls are safe but serialize on the
+// writer mutex.
+//
 // ctx is polled between per-ID construction batches: on cancellation the
-// epoch aborts cleanly — the returned error wraps ctx.Err(), the
-// generation swap never happens, and the System keeps serving the old
-// generation.
+// epoch aborts cleanly — the returned error wraps ctx.Err(), the snapshot
+// never flips, and the System keeps serving the old generation.
 func (s *System) AdvanceEpoch(ctx context.Context) (Stats, error) {
-	if s.closed {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if s.closed.Load() {
 		return Stats{}, ErrClosed
 	}
 	est, err := s.dyn.RunEpochContext(ctx)
 	if err != nil {
 		return Stats{}, fmt.Errorf("tinygroups: epoch %d aborted: %w", s.dyn.Epoch()+1, err)
 	}
+	s.snap.Store(newSnapshot(s.cfg.seed, s.dyn.Generation()))
 	st := statsFrom(est)
 	if obs := s.cfg.observer; obs != nil {
 		obs.ObserveMint(MintEvent{Epoch: st.Epoch, Minted: st.N, Bad: s.dyn.BadCount()})
@@ -317,12 +367,16 @@ func (s *System) AdvanceEpoch(ctx context.Context) (Stats, error) {
 }
 
 // Robustness measures Theorem 3's two bullets on the current graphs over
-// the given number of sampled searches.
+// the given number of sampled searches. It consumes the system's writer
+// rng, so it counts as a write: concurrent calls are safe but serialize
+// on the writer mutex.
 func (s *System) Robustness(samples int) (Robustness, error) {
-	if s.closed {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if s.closed.Load() {
 		return Robustness{}, ErrClosed
 	}
-	rob := s.dyn.Graphs()[0].MeasureRobustness(samples, s.rng)
+	rob := s.snap.Load().gen.Graphs[0].MeasureRobustness(samples, s.rng)
 	return Robustness{
 		N:              rob.N,
 		GroupSize:      rob.GroupSize,
