@@ -320,6 +320,25 @@ func BenchmarkPoWSolveSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkSolveSharded is the mining-engine trajectory benchmark recorded
+// in BENCH_hotpaths.json and compared in BENCH_pow.json: one explicit
+// worker, so ns/op tracks the per-attempt hash cost rather than scheduling,
+// with throughput surfaced as hashes/s.
+func BenchmarkSolveSharded(b *testing.B) {
+	p := pow.Params{Tau: ring.Point(^uint64(0) >> 10), StringLen: 32}
+	rstr := pow.EpochString(1, 0, 32)
+	attempts := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, ok := pow.SolveSharded(rstr, p, int64(i+1), 1<<20, 1)
+		if !ok {
+			b.Fatal("solve failed")
+		}
+		attempts += int64(sol.Attempts)
+	}
+	b.ReportMetric(float64(attempts)/b.Elapsed().Seconds(), "hashes/s")
+}
+
 func BenchmarkPoWVerifyBatch(b *testing.B) {
 	p := pow.Params{Tau: ring.Point(^uint64(0) >> 4), StringLen: 32}
 	rstr := pow.EpochString(1, 0, 32)

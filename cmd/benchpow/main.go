@@ -1,0 +1,246 @@
+// Command benchpow measures the PoW mining engine end to end and records
+// the result as BENCH_pow.json — the mint-path sibling of BENCH_hotpaths
+// and BENCH_service.
+//
+// Usage:
+//
+//	benchpow [-out FILE] [-attempts N] [-solves N] [-mints N] [-mint-work W]
+//
+// Three layers are measured:
+//
+//   - raw candidate throughput: the legacy derive-hash-per-attempt stream
+//     (reconstructed locally — one σ derivation plus one g evaluation per
+//     attempt, the pre-PR cost model) against the counter-mode engine,
+//     which amortizes the derivation over a whole chunk;
+//   - solving: SolveSharded at one worker against a reference difficulty,
+//     reported as solves/sec and hashes/sec;
+//   - serving: in-process System.Mint latency quantiles at the benchmark
+//     difficulty — what a /v1/mint caller experiences minus HTTP.
+//
+// The baseline block pins the pre-PR BenchmarkPoWSolveSharded reading next
+// to the same workload re-measured live, so the engine's speedup stays an
+// explicit, committed number.
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/hashes"
+	"repro/internal/metrics"
+	"repro/internal/pow"
+	"repro/internal/ring"
+	"repro/tinygroups"
+)
+
+// baselineSolveShardedNs is the pre-PR BenchmarkPoWSolveSharded reading
+// (fixed-stride shards, derive-hash per attempt) on the reference machine,
+// committed when the mining engine landed. The live "after" measurement
+// reruns the identical workload.
+const baselineSolveShardedNs = 252828
+
+// report is the BENCH_pow.json document.
+type report struct {
+	Hash struct {
+		LegacyNsPerAttempt  float64 `json:"legacy_ns_per_attempt"`
+		CounterNsPerAttempt float64 `json:"counter_ns_per_attempt"`
+		LegacyHashesPerSec  float64 `json:"legacy_hashes_per_sec"`
+		CounterHashesPerSec float64 `json:"counter_hashes_per_sec"`
+		Speedup             float64 `json:"speedup"`
+	} `json:"hash"`
+	Solve struct {
+		Work         float64 `json:"work"`
+		Solves       int     `json:"solves"`
+		Attempts     int64   `json:"attempts"`
+		Seconds      float64 `json:"seconds"`
+		SolvesPerSec float64 `json:"solves_per_sec"`
+		HashesPerSec float64 `json:"hashes_per_sec"`
+	} `json:"solve"`
+	Mint struct {
+		Count    int     `json:"count"`
+		Work     float64 `json:"work"`
+		P50Ms    float64 `json:"p50_ms"`
+		P99Ms    float64 `json:"p99_ms"`
+		MeanMs   float64 `json:"mean_ms"`
+		PerSec   float64 `json:"mints_per_sec"`
+		Attempts int64   `json:"attempts"`
+	} `json:"mint"`
+	Baseline struct {
+		Benchmark  string  `json:"benchmark"`
+		BeforeNsOp float64 `json:"before_ns_per_op"`
+		AfterNsOp  float64 `json:"after_ns_per_op"`
+		Speedup    float64 `json:"speedup"`
+	} `json:"baseline"`
+}
+
+func main() {
+	os.Exit(run(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the measurement sweep and writes the report; it returns the
+// process exit code.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchpow", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("out", "BENCH_pow.json", `report file ("-" = stdout)`)
+	attempts := fs.Int("attempts", 1<<19, "candidate hashes per raw-throughput pass")
+	solves := fs.Int("solves", 64, "solve count for the solves/sec measurement")
+	mints := fs.Int("mints", 48, "mint count for the serving-latency measurement")
+	mintWork := fs.Float64("mint-work", 1<<12, "mint difficulty in expected attempts per ID")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if len(fs.Args()) != 0 {
+		fmt.Fprintf(stderr, "benchpow: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
+
+	var rep report
+	measureHash(&rep, *attempts)
+	measureSolve(&rep, *solves)
+	rep.Baseline.Benchmark = "BenchmarkPoWSolveSharded"
+	rep.Baseline.BeforeNsOp = baselineSolveShardedNs
+	rep.Baseline.AfterNsOp = measureBaselineWorkload()
+	rep.Baseline.Speedup = rep.Baseline.BeforeNsOp / rep.Baseline.AfterNsOp
+	if err := measureMint(ctx, &rep, *mints, *mintWork); err != nil {
+		fmt.Fprintf(stderr, "benchpow: %v\n", err)
+		return 1
+	}
+
+	if err := writeReport(rep, *out, stdout); err != nil {
+		fmt.Fprintf(stderr, "benchpow: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "hash: %.0f → %.0f hashes/s (%.2fx)   solve: %.1f solves/s   mint p99: %.2f ms   baseline: %.2fx\n",
+		rep.Hash.LegacyHashesPerSec, rep.Hash.CounterHashesPerSec, rep.Hash.Speedup,
+		rep.Solve.SolvesPerSec, rep.Mint.P99Ms, rep.Baseline.Speedup)
+	return 0
+}
+
+// measureHash times the two candidate streams over an unsolvable puzzle
+// (τ=0), so every attempt runs the full per-candidate cost.
+func measureHash(rep *report, attempts int) {
+	const stringLen = 32
+	r := pow.EpochString(1, 0, stringLen)
+	p := pow.Params{Tau: 0, StringLen: stringLen}
+
+	// Legacy stream: the pre-PR cost model — one full σ derivation through
+	// the "sigma" oracle per attempt, then g(σ⊕r).
+	sigmaOracle := hashes.NewFunc("sigma")
+	var buf [24]byte
+	binary.BigEndian.PutUint64(buf[:8], 1)
+	xored := make([]byte, stringLen)
+	start := time.Now()
+	for a := int64(1); a <= int64(attempts); a++ {
+		binary.BigEndian.PutUint64(buf[8:16], uint64(a))
+		binary.BigEndian.PutUint64(buf[16:], 0)
+		d := sigmaOracle.Bytes(buf[:])
+		hashes.XORInto(xored, d[:], r)
+		if hashes.G.Point(xored) <= p.Tau {
+			panic("benchpow: τ=0 solved")
+		}
+	}
+	legacy := time.Since(start)
+
+	// Counter-mode stream: the live engine over the same attempt budget.
+	start = time.Now()
+	if _, ok := pow.SolveSharded(r, p, 1, attempts, 1); ok {
+		panic("benchpow: τ=0 solved")
+	}
+	counter := time.Since(start)
+
+	rep.Hash.LegacyNsPerAttempt = float64(legacy.Nanoseconds()) / float64(attempts)
+	rep.Hash.CounterNsPerAttempt = float64(counter.Nanoseconds()) / float64(attempts)
+	rep.Hash.LegacyHashesPerSec = float64(attempts) / legacy.Seconds()
+	rep.Hash.CounterHashesPerSec = float64(attempts) / counter.Seconds()
+	rep.Hash.Speedup = rep.Hash.CounterHashesPerSec / rep.Hash.LegacyHashesPerSec
+}
+
+// measureSolve runs full solves at the reference difficulty (2^10 expected
+// attempts, the root BenchmarkSolveSharded shape) at one worker.
+func measureSolve(rep *report, solves int) {
+	p := pow.Params{Tau: ring.Point(^uint64(0) >> 10), StringLen: 32}
+	r := pow.EpochString(1, 0, 32)
+	var attempts int64
+	start := time.Now()
+	for i := 0; i < solves; i++ {
+		sol, ok := pow.SolveSharded(r, p, int64(i+1), 1<<20, 1)
+		if !ok {
+			panic("benchpow: reference solve failed")
+		}
+		attempts += int64(sol.Attempts)
+	}
+	elapsed := time.Since(start)
+	rep.Solve.Work = 1 << 10
+	rep.Solve.Solves = solves
+	rep.Solve.Attempts = attempts
+	rep.Solve.Seconds = elapsed.Seconds()
+	rep.Solve.SolvesPerSec = float64(solves) / elapsed.Seconds()
+	rep.Solve.HashesPerSec = float64(attempts) / elapsed.Seconds()
+}
+
+// measureBaselineWorkload reruns the exact pre-PR BenchmarkPoWSolveSharded
+// body (default worker pool) and returns mean ns/op.
+func measureBaselineWorkload() float64 {
+	p := pow.Params{Tau: ring.Point(^uint64(0) >> 10), StringLen: 32}
+	r := pow.EpochString(1, 0, 32)
+	const iters = 256
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		pow.SolveSharded(r, p, int64(i+1), 1<<20, 0)
+	}
+	return float64(time.Since(start).Nanoseconds()) / iters
+}
+
+// measureMint times System.Mint end to end — snapshot load, solve, result
+// assembly — for distinct miner identities.
+func measureMint(ctx context.Context, rep *report, mints int, work float64) error {
+	sys, err := tinygroups.New(256, tinygroups.WithSeed(1), tinygroups.WithMintWork(work))
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	var lat metrics.Summary
+	var attempts int64
+	start := time.Now()
+	for i := 0; i < mints; i++ {
+		t0 := time.Now()
+		res, err := sys.Mint(ctx, fmt.Sprintf("bench-miner-%d", i))
+		if err != nil {
+			return err
+		}
+		lat.Add(float64(time.Since(t0)) / float64(time.Millisecond))
+		attempts += int64(res.Attempts)
+	}
+	elapsed := time.Since(start)
+	rep.Mint.Count = mints
+	rep.Mint.Work = work
+	rep.Mint.P50Ms = lat.Quantile(0.50)
+	rep.Mint.P99Ms = lat.Quantile(0.99)
+	rep.Mint.MeanMs = lat.Mean()
+	rep.Mint.PerSec = float64(mints) / elapsed.Seconds()
+	rep.Mint.Attempts = attempts
+	return nil
+}
+
+// writeReport writes the JSON document to the -out destination.
+func writeReport(rep report, out string, stdout io.Writer) error {
+	w := stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

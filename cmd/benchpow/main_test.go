@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunWritesReport runs a miniature sweep end to end and checks the
+// report's invariants: positive rates, a counter-mode stream at least as
+// fast as the legacy one, and mint quantiles in order.
+func TestRunWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "pow.json")
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(),
+		[]string{"-out", out, "-attempts", "4096", "-solves", "4", "-mints", "4", "-mint-work", "64"},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report not JSON: %v", err)
+	}
+	if rep.Hash.LegacyHashesPerSec <= 0 || rep.Hash.CounterHashesPerSec <= 0 {
+		t.Fatalf("non-positive hash rates: %+v", rep.Hash)
+	}
+	if rep.Hash.Speedup < 1 {
+		t.Errorf("counter-mode slower than legacy stream: speedup %.2f", rep.Hash.Speedup)
+	}
+	if rep.Solve.Solves != 4 || rep.Solve.Attempts < 4 {
+		t.Errorf("solve block: %+v", rep.Solve)
+	}
+	if rep.Mint.Count != 4 || rep.Mint.P99Ms < rep.Mint.P50Ms || rep.Mint.Attempts < 4 {
+		t.Errorf("mint block: %+v", rep.Mint)
+	}
+	if rep.Baseline.BeforeNsOp != baselineSolveShardedNs || rep.Baseline.AfterNsOp <= 0 {
+		t.Errorf("baseline block: %+v", rep.Baseline)
+	}
+	if !strings.Contains(stdout.String(), "hashes/s") {
+		t.Errorf("summary line missing: %q", stdout.String())
+	}
+}
+
+// TestRunBadFlags covers flag-parse and extra-argument failures.
+func TestRunBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-bogus"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag: run = %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := run(context.Background(), []string{"extra"}, &stdout, &stderr); code != 2 {
+		t.Errorf("extra arg: run = %d, want 2", code)
+	}
+}

@@ -6,11 +6,11 @@
 //
 //	loadgen [-addr URL] [-ops N] [-concurrency C] [-seed S] [-keys K]
 //	        [-workloads LIST] [-zipf-skew X] [-write-frac F]
-//	        [-advance-every N] [-storm-every N] [-out FILE]
+//	        [-advance-every N] [-storm-every N] [-mint-every N] [-out FILE]
 //
-// The default sweep runs the five canonical workloads (uniform,
-// zipf-hotspot, readwrite-mix, churn-heavy, epoch-storm) and writes
-// BENCH_service.json.
+// The default sweep runs the six canonical workloads (uniform,
+// zipf-hotspot, readwrite-mix, churn-heavy, epoch-storm, mint-storm) and
+// writes BENCH_service.json.
 // Op streams are pure functions of (seed, index) — see tinygroups/loadgen
 // — so two sweeps with equal seeds send byte-identical operation
 // sequences regardless of concurrency.
@@ -46,12 +46,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	concurrency := fs.Int("concurrency", 4, "closed-loop client count")
 	seed := fs.Int64("seed", 1, "workload seed; equal seeds send identical op streams")
 	keys := fs.Int("keys", 512, "keyspace size")
-	workloads := fs.String("workloads", "uniform,zipf-hotspot,readwrite-mix,churn-heavy,epoch-storm",
+	workloads := fs.String("workloads", "uniform,zipf-hotspot,readwrite-mix,churn-heavy,epoch-storm,mint-storm",
 		"comma-separated workload names to run, in order")
 	zipfSkew := fs.Float64("zipf-skew", 4, "zipf-hotspot skew exponent (1 = uniform)")
 	writeFrac := fs.Float64("write-frac", 0.1, "readwrite-mix put share in [0,1]")
 	advanceEvery := fs.Int("advance-every", 500, "churn-heavy: one epoch advance per this many ops")
 	stormEvery := fs.Int("storm-every", 100, "epoch-storm: one epoch advance per this many ops")
+	mintEvery := fs.Int("mint-every", 500, "mint-storm: one epoch advance per this many ops")
 	out := fs.String("out", "BENCH_service.json", `report file ("-" = stdout)`)
 	readyTimeout := fs.Duration("ready-timeout", 30*time.Second, "how long to wait for /healthz")
 	if err := fs.Parse(args); err != nil {
@@ -66,7 +67,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	gens, err := pickWorkloads(*workloads, *keys, *zipfSkew, *writeFrac, *advanceEvery, *stormEvery)
+	gens, err := pickWorkloads(*workloads, *keys, *zipfSkew, *writeFrac, *advanceEvery, *stormEvery, *mintEvery)
 	if err != nil {
 		fmt.Fprintf(stderr, "loadgen: %v\n", err)
 		return 2
@@ -96,7 +97,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 // pickWorkloads resolves the -workloads list against the built-in
 // generators, parameterized by the tuning flags.
-func pickWorkloads(list string, keys int, zipfSkew, writeFrac float64, advanceEvery, stormEvery int) ([]loadgen.Generator, error) {
+func pickWorkloads(list string, keys int, zipfSkew, writeFrac float64, advanceEvery, stormEvery, mintEvery int) ([]loadgen.Generator, error) {
 	byName := map[string]loadgen.Generator{}
 	var known []string
 	for _, g := range []loadgen.Generator{
@@ -105,6 +106,7 @@ func pickWorkloads(list string, keys int, zipfSkew, writeFrac float64, advanceEv
 		loadgen.ReadWriteMix(keys, writeFrac),
 		loadgen.ChurnHeavy(keys, advanceEvery),
 		loadgen.EpochStorm(keys, stormEvery),
+		loadgen.MintStorm(mintEvery),
 	} {
 		byName[g.Name()] = g
 		known = append(known, g.Name())
@@ -146,12 +148,15 @@ func writeReport(rep loadgen.Report, out string, stdout io.Writer) error {
 // printSummary renders the human-readable sweep table.
 func printSummary(w io.Writer, rep loadgen.Report) {
 	tab := metrics.Table{Header: []string{
-		"workload", "ops", "ok", "unreach", "notfound", "err", "ops/s", "p50 ms", "p99 ms", "read p99",
+		"workload", "ops", "ok", "unreach", "notfound", "err", "ops/s", "p50 ms", "p99 ms", "read p99", "mint p99",
 	}}
 	for _, r := range rep.Workloads {
-		readP99 := "-"
+		readP99, mintP99 := "-", "-"
 		if r.ReadOps > 0 {
 			readP99 = fmt.Sprintf("%.2f", r.ReadP99Millis)
+		}
+		if r.MintOps > 0 {
+			mintP99 = fmt.Sprintf("%.2f", r.MintP99Millis)
 		}
 		tab.Append(r.Workload,
 			fmt.Sprintf("%d", r.Ops), fmt.Sprintf("%d", r.OK),
@@ -159,7 +164,7 @@ func printSummary(w io.Writer, rep loadgen.Report) {
 			fmt.Sprintf("%d", r.Errors),
 			fmt.Sprintf("%.0f", r.Throughput),
 			fmt.Sprintf("%.2f", r.P50Millis), fmt.Sprintf("%.2f", r.P99Millis),
-			readP99,
+			readP99, mintP99,
 		)
 	}
 	fmt.Fprintf(w, "%s(%d clients, seed %d)\n", tab.String(), rep.Concurrency, rep.Seed)

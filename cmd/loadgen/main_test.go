@@ -48,7 +48,7 @@ func TestRunNoDaemon(t *testing.T) {
 // TestRunAgainstDaemon is the zero-to-report path: a live serving layer,
 // the full default sweep, and a parseable BENCH_service.json on disk.
 func TestRunAgainstDaemon(t *testing.T) {
-	sys, err := tinygroups.New(128, tinygroups.WithSeed(1))
+	sys, err := tinygroups.New(128, tinygroups.WithSeed(1), tinygroups.WithMintWork(1<<8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestRunAgainstDaemon(t *testing.T) {
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		t.Fatalf("report is not valid JSON: %v", err)
 	}
-	if rep.Target != ts.URL || rep.OpsPerWorkload != 80 || len(rep.Workloads) != 5 {
+	if rep.Target != ts.URL || rep.OpsPerWorkload != 80 || len(rep.Workloads) != 6 {
 		t.Fatalf("report shape wrong: %+v", rep)
 	}
 	for _, r := range rep.Workloads {
@@ -92,7 +92,8 @@ func TestRunAgainstDaemon(t *testing.T) {
 			t.Fatalf("%s: throughput %v", r.Workload, r.Throughput)
 		}
 	}
-	if !bytes.Contains(stdout.Bytes(), []byte("zipf-hotspot")) {
+	if !bytes.Contains(stdout.Bytes(), []byte("zipf-hotspot")) ||
+		!bytes.Contains(stdout.Bytes(), []byte("mint-storm")) {
 		t.Fatalf("summary table missing workloads:\n%s", stdout.String())
 	}
 }

@@ -7,6 +7,7 @@
 //	tinygroupsd [-addr HOST:PORT] [-n N] [-beta B] [-overlay NAME]
 //	            [-seed S] [-workers W] [-epoch-interval D]
 //	            [-max-batch K] [-queue Q]
+//	            [-mint-work W] [-mint-target D]
 //
 // Endpoints (all JSON):
 //
@@ -14,9 +15,11 @@
 //	POST /v1/put            {"key":K,"value":V}  store V (base64) under K
 //	GET  /v1/get?key=K                           fetch the stored value
 //	POST /v1/compute        {"key":K,"input":I}  BA inside the owner group
+//	POST /v1/mint           {"miner":M,"count":C} solve C §IV identity puzzles
+//	POST /v1/verify         {"claims":[{"id","sigma"}]} batch-verify claims
 //	POST /v1/epoch/advance                       one §III population turnover
 //	GET  /healthz                                liveness + current epoch
-//	GET  /metrics                                request/batch/epoch counters
+//	GET  /metrics                                request/batch/epoch/mint counters
 //
 // Concurrent lookups and puts are coalesced through a bounded batching
 // queue into pool-amortized LookupBatch/PutBatch calls (see
@@ -67,6 +70,8 @@ func run(ctx context.Context, args []string, stderr io.Writer) int {
 	epochEvery := fs.Duration("epoch-interval", 0, "advance the epoch on this period in the background (0 = only via /v1/epoch/advance)")
 	maxBatch := fs.Int("max-batch", 256, "max queued lookups (or puts) coalesced into one batch call")
 	queueCap := fs.Int("queue", 1024, "bounded request queue capacity; a full queue answers 429")
+	mintWork := fs.Float64("mint-work", 1<<14, "PoW difficulty of /v1/mint in expected hash attempts per ID")
+	mintTarget := fs.Duration("mint-target", 0, "retarget mint difficulty toward this mean solve time at each epoch advance (0 = fixed difficulty)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -80,6 +85,8 @@ func run(ctx context.Context, args []string, stderr io.Writer) int {
 		tinygroups.WithOverlay(*overlay),
 		tinygroups.WithSeed(*seed),
 		tinygroups.WithWorkers(*workers),
+		tinygroups.WithMintWork(*mintWork),
+		tinygroups.WithMintRetarget(*mintTarget),
 	)
 	if err != nil {
 		lg.Printf("tinygroupsd: %v", err)
@@ -93,8 +100,8 @@ func run(ctx context.Context, args []string, stderr io.Writer) int {
 		EpochEvery: *epochEvery,
 		Logf:       logf,
 	})
-	logf("tinygroupsd: n=%d beta=%v overlay=%s seed=%d workers=%d epoch-interval=%s",
-		*n, *beta, *overlay, *seed, *workers, *epochEvery)
+	logf("tinygroupsd: n=%d beta=%v overlay=%s seed=%d workers=%d epoch-interval=%s mint-work=%v mint-target=%s",
+		*n, *beta, *overlay, *seed, *workers, *epochEvery, *mintWork, *mintTarget)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe(*addr) }()

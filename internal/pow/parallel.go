@@ -1,101 +1,15 @@
 package pow
 
 import (
-	"encoding/binary"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
-	"repro/internal/hashes"
 	"repro/internal/ring"
 )
 
-// sigmaOracle derives the σ tried at each global attempt index of a sharded
-// solve. A dedicated domain-separation tag keeps this stream independent of
-// the paper's five named oracles.
-var sigmaOracle = hashes.NewFunc("sigma")
-
-// ShardSigma returns the σ a sharded solve tries at global attempt index a:
-// a fixed function of (seed, a) only, so the mapping from attempt index to
-// candidate is identical no matter how the index space is sharded.
-func ShardSigma(seed int64, a int64, length int) []byte {
-	out := make([]byte, length)
-	shardSigmaInto(out, seed, a)
-	return out
-}
-
-// shardSigmaInto writes ShardSigma(seed, a, len(dst)) into dst without
-// allocating, for the solver's per-attempt hot loop.
-func shardSigmaInto(dst []byte, seed int64, a int64) {
-	var buf [24]byte
-	binary.BigEndian.PutUint64(buf[:8], uint64(seed))
-	binary.BigEndian.PutUint64(buf[8:16], uint64(a))
-	n := 0
-	for c := 0; n < len(dst); c++ {
-		binary.BigEndian.PutUint64(buf[16:], uint64(c))
-		d := sigmaOracle.Bytes(buf[:])
-		n += copy(dst[n:], d[:])
-	}
-}
-
-// SolveSharded searches for g(σ ⊕ r) ≤ τ like Solve, but fans the attempt
-// space over a worker pool: worker w scans global attempt indices
-// w+1, w+1+W, w+1+2W, … in ascending order. Because ShardSigma fixes the
-// candidate at every index, the smallest solving index — and therefore the
-// returned solution and its Attempts count — is bit-identical for every
-// worker count and schedule. Workers abandon their shard as soon as a
-// better (smaller) index has been found elsewhere, so wall-clock scales
-// with cores while the result does not. workers ≤ 0 means GOMAXPROCS.
-func SolveSharded(r []byte, p Params, seed int64, maxAttempts, workers int) (Solution, bool) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > maxAttempts {
-		workers = maxAttempts
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	// bestIdx holds the smallest solving attempt index found so far;
-	// maxAttempts+1 means "none yet".
-	var bestIdx atomic.Int64
-	bestIdx.Store(int64(maxAttempts) + 1)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			// Reusable per-worker buffers keep the per-attempt loop free of
-			// heap allocation; only the hash work remains.
-			sigma := make([]byte, p.StringLen)
-			xored := make([]byte, min(p.StringLen, len(r)))
-			for a := int64(w) + 1; a <= int64(maxAttempts); a += int64(workers) {
-				if a >= bestIdx.Load() {
-					return // a smaller index already solved; nothing here can win
-				}
-				shardSigmaInto(sigma, seed, a)
-				hashes.XORInto(xored, sigma, r)
-				if hashes.G.Point(xored) <= p.Tau {
-					for {
-						cur := bestIdx.Load()
-						if a >= cur || bestIdx.CompareAndSwap(cur, a) {
-							break
-						}
-					}
-					return
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	a := bestIdx.Load()
-	if a > int64(maxAttempts) {
-		return Solution{Attempts: maxAttempts}, false
-	}
-	sigma := ShardSigma(seed, a, p.StringLen)
-	y := hashes.G.Point(hashes.XOR(sigma, r))
-	return Solution{Sigma: sigma, Y: y, ID: hashes.F.OfPoint(y), Attempts: int(a)}, true
-}
+// The solver half of the parallel PoW layer lives in miner.go (counter-mode
+// σ stream, multi-candidate scanning, work-stealing SolveSharded); this file
+// keeps the verification half.
 
 // Claim pairs a minted ID with the pre-image backing it, for verification.
 type Claim struct {
@@ -105,11 +19,11 @@ type Claim struct {
 
 // VerifyBatch checks many claims against one epoch string on a worker pool
 // and returns the per-claim verdicts in input order. It serves the literal
-// PoW layer (E6's validation rows and tests); the epoch simulation itself
-// stays on the statistical substitution of mint.go and models verification
-// as accept/reject probabilities rather than literal hashing. Each claim's
-// verdict is independent, so results never depend on scheduling.
-// workers ≤ 0 means GOMAXPROCS.
+// PoW layer (E6's validation rows, tests, and the /v1/verify endpoint); the
+// epoch simulation itself stays on the statistical substitution of mint.go
+// and models verification as accept/reject probabilities rather than
+// literal hashing. Each claim's verdict is independent, so results never
+// depend on scheduling. workers ≤ 0 means GOMAXPROCS.
 func VerifyBatch(claims []Claim, r []byte, p Params, workers int) []bool {
 	out := make([]bool, len(claims))
 	if len(claims) == 0 {

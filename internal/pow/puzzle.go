@@ -14,6 +14,7 @@ package pow
 
 import (
 	"encoding/binary"
+	"math"
 	"math/rand"
 
 	"repro/internal/hashes"
@@ -93,15 +94,30 @@ func Verify(id ring.Point, sigma, r []byte, p Params) bool {
 	return y <= p.Tau && hashes.F.OfPoint(y) == id
 }
 
+// TauForWork returns the threshold at which one solution takes `work`
+// attempts in expectation: τ = 2^64 / work of the output space. It is the
+// inverse of the difficulty knob the Retargeter turns — work doubles, τ
+// halves. work < 2 means every attempt solves.
+func TauForWork(work float64) ring.Point {
+	if work < 2 {
+		return ^ring.Point(0)
+	}
+	// 2^64/work ≤ 2^63 here, so the float→uint conversion is exact-range.
+	return ring.Point(math.Ldexp(1, 64) / work)
+}
+
 // EpochString derives a fresh epoch string deterministically from a seed
 // and epoch index (trusted-setup stand-in where the full lottery is not
-// being exercised).
+// being exercised). Seed, epoch, and the block counter occupy separate
+// fixed-width fields of the hash input, so no (epoch, counter) pair can
+// collide with another.
 func EpochString(seed int64, epoch int, length int) []byte {
 	out := make([]byte, 0, length)
-	var buf [16]byte
+	var buf [24]byte
 	binary.BigEndian.PutUint64(buf[:8], uint64(seed))
+	binary.BigEndian.PutUint64(buf[8:16], uint64(epoch))
 	for c := 0; len(out) < length; c++ {
-		binary.BigEndian.PutUint64(buf[8:], uint64(epoch)<<20|uint64(c))
+		binary.BigEndian.PutUint64(buf[16:], uint64(c))
 		d := hashes.H.Bytes(buf[:])
 		out = append(out, d[:]...)
 	}

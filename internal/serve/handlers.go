@@ -73,6 +73,8 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("/v1/put", s.handlePut)
 	mux.HandleFunc("/v1/get", s.handleGet)
 	mux.HandleFunc("/v1/compute", s.handleCompute)
+	mux.HandleFunc("/v1/mint", s.handleMint)
+	mux.HandleFunc("/v1/verify", s.handleVerify)
 	mux.HandleFunc("/v1/epoch/advance", s.handleAdvance)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -91,6 +93,8 @@ func statusOf(err error) (status int, code string) {
 		return http.StatusBadGateway, "unreachable"
 	case errors.Is(err, tinygroups.ErrBadConfig):
 		return http.StatusBadRequest, "bad_config"
+	case errors.Is(err, tinygroups.ErrMintFailed):
+		return http.StatusInternalServerError, "mint_failed"
 	case errors.Is(err, tinygroups.ErrClosed), errors.Is(err, errDraining):
 		return http.StatusServiceUnavailable, "closed"
 	case errors.Is(err, errQueueFull):
@@ -307,5 +311,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.m.snapshot()
 	snap.Epoch = s.epoch.Load()
 	snap.UptimeS = time.Since(s.start).Seconds()
+	snap.Mint.Work = s.sys.MintWork()
 	writeJSON(w, http.StatusOK, snap)
 }

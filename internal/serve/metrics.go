@@ -11,11 +11,15 @@ import "sync/atomic"
 // fine).
 type counters struct {
 	lookups, puts, gets, computes, advances, health atomic.Int64
+	mints, verifies                                 atomic.Int64
 	errors4xx, errors5xx                            atomic.Int64
 	queueRejects                                    atomic.Int64
 	epochsAdvanced                                  atomic.Int64
 
 	putBatches, putBatchedOps atomic.Int64
+	// mintedIDs / verifiedClaims total the items behind the mint and verify
+	// calls (one call can carry a batch).
+	mintedIDs, verifiedClaims atomic.Int64
 }
 
 // MetricsSnapshot is the /metrics JSON document.
@@ -28,9 +32,20 @@ type MetricsSnapshot struct {
 		Put     int64 `json:"put"`
 		Get     int64 `json:"get"`
 		Compute int64 `json:"compute"`
+		Mint    int64 `json:"mint"`
+		Verify  int64 `json:"verify"`
 		Advance int64 `json:"advance"`
 		Health  int64 `json:"health"`
 	} `json:"requests"`
+
+	// Mint reports the identity layer: IDs minted and claims verified
+	// across all calls, plus the difficulty currently in force (expected
+	// attempts per ID; moves only under retargeting).
+	Mint struct {
+		MintedIDs      int64   `json:"minted_ids"`
+		VerifiedClaims int64   `json:"verified_claims"`
+		Work           float64 `json:"work"`
+	} `json:"mint"`
 
 	Errors struct {
 		Client int64 `json:"client_4xx"`
@@ -60,8 +75,12 @@ func (c *counters) snapshot() MetricsSnapshot {
 	s.Requests.Put = c.puts.Load()
 	s.Requests.Get = c.gets.Load()
 	s.Requests.Compute = c.computes.Load()
+	s.Requests.Mint = c.mints.Load()
+	s.Requests.Verify = c.verifies.Load()
 	s.Requests.Advance = c.advances.Load()
 	s.Requests.Health = c.health.Load()
+	s.Mint.MintedIDs = c.mintedIDs.Load()
+	s.Mint.VerifiedClaims = c.verifiedClaims.Load()
 	s.Errors.Client = c.errors4xx.Load()
 	s.Errors.Server = c.errors5xx.Load()
 	s.Batch.PutCalls = c.putBatches.Load()

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/tinygroups"
+)
+
+// postJSON posts v and decodes the response into out (when non-nil),
+// returning the status code.
+func postJSON(t *testing.T, url string, v any, out any) int {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode
+}
+
+// TestMintVerifyRoundTrip: mint over HTTP, verify the claims over HTTP,
+// then advance the epoch and confirm the claims expired.
+func TestMintVerifyRoundTrip(t *testing.T) {
+	s := newTestServer(t, Config{}, tinygroups.WithMintWork(1<<8))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var minted mintResponse
+	if st := postJSON(t, ts.URL+"/v1/mint", mintRequest{Miner: "alice", Count: 3}, &minted); st != http.StatusOK {
+		t.Fatalf("mint: status %d", st)
+	}
+	if len(minted.Results) != 3 || minted.Work != 1<<8 {
+		t.Fatalf("mint response %+v: want 3 results at work 256", minted)
+	}
+
+	req := verifyRequest{}
+	for _, m := range minted.Results {
+		req.Claims = append(req.Claims, verifyClaim{ID: m.ID, Sigma: m.Sigma})
+	}
+	// One forged claim rides along: valid σ, wrong ID.
+	req.Claims = append(req.Claims, verifyClaim{ID: "0xdeadbeef", Sigma: minted.Results[0].Sigma})
+	var verdicts verifyResponse
+	if st := postJSON(t, ts.URL+"/v1/verify", req, &verdicts); st != http.StatusOK {
+		t.Fatalf("verify: status %d", st)
+	}
+	if verdicts.Valid != 3 || !verdicts.Verdicts[0] || verdicts.Verdicts[3] {
+		t.Fatalf("verdicts %+v: want first three true, forged claim false", verdicts)
+	}
+
+	if st := postJSON(t, ts.URL+"/v1/epoch/advance", struct{}{}, nil); st != http.StatusOK {
+		t.Fatalf("advance: status %d", st)
+	}
+	if st := postJSON(t, ts.URL+"/v1/verify", verifyRequest{Claims: req.Claims[:3]}, &verdicts); st != http.StatusOK {
+		t.Fatalf("verify after advance: status %d", st)
+	}
+	if verdicts.Valid != 0 {
+		t.Fatalf("%d claims still valid after the epoch string rotated", verdicts.Valid)
+	}
+
+	// The metrics surface saw it all.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests.Mint != 1 || m.Requests.Verify != 2 || m.Mint.MintedIDs != 3 || m.Mint.VerifiedClaims != 7 || m.Mint.Work != 1<<8 {
+		t.Fatalf("metrics %+v: mint accounting off", m)
+	}
+}
+
+// TestMintVerifyBadInput: the new endpoints share the 4xx envelope
+// discipline of the rest of the surface.
+func TestMintVerifyBadInput(t *testing.T) {
+	s := newTestServer(t, Config{}, tinygroups.WithMintWork(1<<8))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		path string
+		body any
+	}{
+		{"mint missing miner", "/v1/mint", mintRequest{}},
+		{"mint count too large", "/v1/mint", mintRequest{Miner: "a", Count: maxMintCount + 1}},
+		{"mint negative count", "/v1/mint", mintRequest{Miner: "a", Count: -1}},
+		{"verify no claims", "/v1/verify", verifyRequest{}},
+		{"verify bad id", "/v1/verify", verifyRequest{Claims: []verifyClaim{{ID: "zzz"}}}},
+	}
+	for _, c := range cases {
+		if st := postJSON(t, ts.URL+c.path, c.body, nil); st != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.name, st)
+		}
+	}
+	for _, path := range []string{"/v1/mint", "/v1/verify"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET %s: status %d, want 405", path, resp.StatusCode)
+		}
+	}
+}

@@ -16,4 +16,8 @@ var (
 	ErrBadConfig = errors.New("tinygroups: invalid configuration")
 	// ErrClosed is returned by operations on a System after Close.
 	ErrClosed = errors.New("tinygroups: system closed")
+	// ErrMintFailed is returned by Mint when the attempt budget exhausts
+	// without a puzzle solution — astronomically unlikely at any configured
+	// difficulty, so in practice it signals a miscalibrated work factor.
+	ErrMintFailed = errors.New("tinygroups: mint attempt budget exhausted")
 )

@@ -63,6 +63,13 @@ type Result struct {
 	ReadOps       int     `json:"read_ops,omitempty"`
 	ReadP50Millis float64 `json:"read_p50_ms,omitempty"`
 	ReadP99Millis float64 `json:"read_p99_ms,omitempty"`
+	// MintOps / MintP50Millis / MintP99Millis cover only the mint
+	// operations — each is a full PoW solve, so its quantiles sit far from
+	// the routing ops and would otherwise be invisible inside the overall
+	// distribution. Zero when the workload minted nothing.
+	MintOps       int     `json:"mint_ops,omitempty"`
+	MintP50Millis float64 `json:"mint_p50_ms,omitempty"`
+	MintP99Millis float64 `json:"mint_p99_ms,omitempty"`
 }
 
 // workerTally is one worker's private accounting, merged after the run so
@@ -70,6 +77,7 @@ type Result struct {
 type workerTally struct {
 	lat                                metrics.Summary
 	readLat                            metrics.Summary
+	mintLat                            metrics.Summary
 	ok, unreachable, notFound, errored int
 }
 
@@ -102,6 +110,9 @@ func Run(ctx context.Context, target Target, gen Generator, cfg Config) (Result,
 				if op.Kind == KindLookup || op.Kind == KindGet {
 					t.readLat.Add(ms)
 				}
+				if op.Kind == KindMint {
+					t.mintLat.Add(ms)
+				}
 				switch {
 				case err != nil:
 					t.errored++
@@ -118,12 +129,13 @@ func Run(ctx context.Context, target Target, gen Generator, cfg Config) (Result,
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var lat, readLat metrics.Summary
+	var lat, readLat, mintLat metrics.Summary
 	res := Result{Workload: gen.Name(), Seconds: elapsed.Seconds()}
 	for i := range tallies {
 		t := &tallies[i]
 		lat.Merge(&t.lat)
 		readLat.Merge(&t.readLat)
+		mintLat.Merge(&t.mintLat)
 		res.OK += t.ok
 		res.Unreachable += t.unreachable
 		res.NotFound += t.notFound
@@ -140,6 +152,10 @@ func Run(ctx context.Context, target Target, gen Generator, cfg Config) (Result,
 	if res.ReadOps = readLat.N(); res.ReadOps > 0 {
 		res.ReadP50Millis = readLat.Quantile(0.50)
 		res.ReadP99Millis = readLat.Quantile(0.99)
+	}
+	if res.MintOps = mintLat.N(); res.MintOps > 0 {
+		res.MintP50Millis = mintLat.Quantile(0.50)
+		res.MintP99Millis = mintLat.Quantile(0.99)
 	}
 	return res, ctx.Err()
 }

@@ -17,12 +17,14 @@
 //	})
 //	fmt.Println(res.Throughput, res.P50Millis, res.P99Millis)
 //
-// The built-in generators cover five canonical traffic shapes: uniform
+// The built-in generators cover six canonical traffic shapes: uniform
 // reads, Zipf-like hotspot reads, a read/write mix, churn-heavy traffic
-// that interleaves epoch turnovers with lookups, and epoch-storm — reads
+// that interleaves epoch turnovers with lookups, epoch-storm — reads
 // sustained while epoch advances fire near-continuously, the probe for
-// the lock-free snapshot read path. Suite returns all five for the
-// standard sweep recorded in BENCH_service.json.
+// the lock-free snapshot read path — and mint-storm, sustained PoW
+// identity minting across epoch rotations, the probe for the mint path.
+// Suite returns all six for the standard sweep recorded in
+// BENCH_service.json.
 package loadgen
 
 import (
@@ -42,6 +44,7 @@ const (
 	KindPut
 	KindGet
 	KindAdvance
+	KindMint
 )
 
 // String returns the op-kind name.
@@ -55,6 +58,8 @@ func (k Kind) String() string {
 		return "get"
 	case KindAdvance:
 		return "advance"
+	case KindMint:
+		return "mint"
 	}
 	return "unknown"
 }
@@ -261,11 +266,44 @@ func (g *storm) Op(seed int64, i int) Op {
 	return Op{Kind: KindLookup, Key: keyOf(rng.Intn(g.keys))}
 }
 
-// Suite returns the standard 5-workload sweep — uniform, zipf-hotspot
+// mintstorm is the MintStorm generator.
+type mintstorm struct {
+	advanceEvery int
+	scope        string
+}
+
+// MintStorm returns a workload of sustained identity minting — every op
+// solves a full PoW puzzle for a fresh miner identity — punctuated by one
+// epoch advance per advanceEvery ops (default 500) so the mints keep
+// crossing string rotations. It is the probe for the mint serving path:
+// mints run outside the write queue, so the advances should not stall
+// behind the solves or vice versa. The miner name of op i derives from
+// (seed, i), keeping the stream a pure function of its coordinates.
+func MintStorm(advanceEvery int) Generator {
+	if advanceEvery <= 0 {
+		advanceEvery = 500
+	}
+	return &mintstorm{advanceEvery: advanceEvery, scope: "loadgen/mintstorm"}
+}
+
+// Name implements Generator.
+func (g *mintstorm) Name() string { return "mint-storm" }
+
+// Op implements Generator. The miner identity rides in Key.
+func (g *mintstorm) Op(seed int64, i int) Op {
+	if i%g.advanceEvery == g.advanceEvery-1 {
+		return Op{Kind: KindAdvance}
+	}
+	rng := stream(g.scope, seed, i)
+	return Op{Kind: KindMint, Key: fmt.Sprintf("m%016x", rng.Uint64())}
+}
+
+// Suite returns the standard 6-workload sweep — uniform, zipf-hotspot
 // (skew 4), readwrite-mix (10% writes), churn-heavy (one advance per
-// advanceEvery ops) and epoch-storm (one advance per advanceEvery/5 ops,
-// floored at 1) — over a keyspace of the given size. This is the sweep
-// cmd/loadgen runs and BENCH_service.json records.
+// advanceEvery ops), epoch-storm (one advance per advanceEvery/5 ops,
+// floored at 1) and mint-storm (one advance per advanceEvery ops) — over
+// a keyspace of the given size. This is the sweep cmd/loadgen runs and
+// BENCH_service.json records.
 func Suite(keys, advanceEvery int) []Generator {
 	return []Generator{
 		Uniform(keys),
@@ -273,5 +311,6 @@ func Suite(keys, advanceEvery int) []Generator {
 		ReadWriteMix(keys, 0.1),
 		ChurnHeavy(keys, advanceEvery),
 		EpochStorm(keys, max(advanceEvery/5, 1)),
+		MintStorm(advanceEvery),
 	}
 }

@@ -116,6 +116,29 @@ func TestGeneratorShapes(t *testing.T) {
 			}
 		}
 	})
+
+	t.Run("mint-storm", func(t *testing.T) {
+		const every = 25
+		g := MintStorm(every)
+		miners := map[string]bool{}
+		for i := 0; i < ops; i++ {
+			op := g.Op(1, i)
+			wantAdvance := i%every == every-1
+			if (op.Kind == KindAdvance) != wantAdvance {
+				t.Fatalf("op %d: kind %v, mint-storm schedule broken", i, op.Kind)
+			}
+			if !wantAdvance {
+				if op.Kind != KindMint || len(op.Key) != 17 {
+					t.Fatalf("op %d: kind %v key %q, want a mint with fixed-width miner", i, op.Kind, op.Key)
+				}
+				miners[op.Key] = true
+			}
+		}
+		// Fresh 64-bit draws: each op mints for a distinct identity.
+		if want := ops - ops/every; len(miners) != want {
+			t.Fatalf("mint-storm drew %d distinct miners over %d mints", len(miners), want)
+		}
+	})
 }
 
 // TestRunSystemTarget drives the closed loop against an in-process System
@@ -148,11 +171,12 @@ func TestRunSystemTarget(t *testing.T) {
 	}
 }
 
-// TestRunSuiteHTTP is the end-to-end path: the full 5-workload sweep
+// TestRunSuiteHTTP is the end-to-end path: the full 6-workload sweep
 // against a live serving layer over httptest, exactly what cmd/loadgen
-// does against the daemon.
+// does against the daemon. Mint work is turned down so the mint-storm leg
+// stays a smoke-scale solve.
 func TestRunSuiteHTTP(t *testing.T) {
-	sys, err := tinygroups.New(128, tinygroups.WithSeed(1))
+	sys, err := tinygroups.New(128, tinygroups.WithSeed(1), tinygroups.WithMintWork(1<<8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,8 +200,8 @@ func TestRunSuiteHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Workloads) != 5 {
-		t.Fatalf("workloads = %d, want 5", len(rep.Workloads))
+	if len(rep.Workloads) != 6 {
+		t.Fatalf("workloads = %d, want 6", len(rep.Workloads))
 	}
 	for _, r := range rep.Workloads {
 		if r.Ops != 120 {
@@ -189,6 +213,10 @@ func TestRunSuiteHTTP(t *testing.T) {
 	}
 	if rep.Workloads[3].Workload != "churn-heavy" || rep.Workloads[4].Workload != "epoch-storm" {
 		t.Fatalf("sweep order broken: %v", rep.Workloads)
+	}
+	mint := rep.Workloads[5]
+	if mint.Workload != "mint-storm" || mint.MintOps == 0 || mint.MintP99Millis < mint.MintP50Millis {
+		t.Fatalf("mint-storm leg broken: %+v", mint)
 	}
 }
 

@@ -123,6 +123,9 @@ func (t *HTTPTarget) Do(ctx context.Context, op Op) (Outcome, error) {
 		path = "/v1/get?key=" + url.QueryEscape(op.Key)
 	case KindAdvance:
 		path = "/v1/epoch/advance"
+	case KindMint:
+		path = "/v1/mint"
+		body, err = jsonBody(map[string]any{"miner": op.Key, "count": 1})
 	default:
 		return OK, fmt.Errorf("loadgen: unknown op kind %d", op.Kind)
 	}
@@ -180,6 +183,8 @@ func (t *SystemTarget) Do(ctx context.Context, op Op) (Outcome, error) {
 		_, _, err = t.sys.Get(ctx, op.Key)
 	case KindAdvance:
 		_, err = t.sys.AdvanceEpoch(ctx)
+	case KindMint:
+		_, err = t.sys.Mint(ctx, op.Key)
 	default:
 		return OK, fmt.Errorf("loadgen: unknown op kind %d", op.Kind)
 	}

@@ -2,6 +2,7 @@ package tinygroups
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/adversary"
 	"repro/internal/overlay"
@@ -38,12 +39,15 @@ type config struct {
 	midEpochDepartures float64
 	sizeDrift          float64
 	observer           Observer
+	mintWork           float64
+	mintTarget         time.Duration
 }
 
 func defaults(n int) config {
 	// Beta defaults to 0.05 — the paper's "sufficiently small" β for which
 	// the dynamic construction is stable at Θ(log log n) group sizes.
-	return config{n: n, beta: 0.05, overlayName: "chord", strategy: Uniform, seed: 1}
+	// mintWork defaults to 2^14 expected attempts — DefaultParams difficulty.
+	return config{n: n, beta: 0.05, overlayName: "chord", strategy: Uniform, seed: 1, mintWork: 1 << 14}
 }
 
 // Option configures a System at construction; options are applied in
@@ -101,6 +105,21 @@ func WithSizeDrift(frac float64) Option { return func(c *config) { c.sizeDrift =
 // (the default) is free: no events are constructed.
 func WithObserver(obs Observer) Option { return func(c *config) { c.observer = obs } }
 
+// WithMintWork sets the PoW difficulty of the Mint path in expected hash
+// attempts per minted ID (default 2^14; must be ≥ 2). With retargeting
+// enabled this is the starting point of the controller.
+func WithMintWork(work float64) Option { return func(c *config) { c.mintWork = work } }
+
+// WithMintRetarget enables adaptive difficulty: after each epoch advance
+// the mint difficulty is retargeted so the mean observed solve time tracks
+// target (clamped to a 4× step per epoch). The zero default keeps the
+// difficulty fixed at WithMintWork — and keeps minted IDs a pure function
+// of (seed, epoch, miner), which retargeting necessarily trades away since
+// it feeds wall-clock measurements back into τ.
+func WithMintRetarget(target time.Duration) Option {
+	return func(c *config) { c.mintTarget = target }
+}
+
 // validate checks everything the epoch layer does not, wrapping each
 // failure in ErrBadConfig.
 func (c *config) validate() error {
@@ -127,6 +146,12 @@ func (c *config) validate() error {
 	}
 	if c.sizeDrift < 0 || c.sizeDrift >= 1 {
 		return fmt.Errorf("%w: size drift %v outside [0, 1)", ErrBadConfig, c.sizeDrift)
+	}
+	if c.mintWork < 2 {
+		return fmt.Errorf("%w: mint work %v too low (need ≥ 2 expected attempts)", ErrBadConfig, c.mintWork)
+	}
+	if c.mintTarget < 0 {
+		return fmt.Errorf("%w: negative mint retarget %v", ErrBadConfig, c.mintTarget)
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/epoch"
 	"repro/internal/groups"
+	"repro/internal/pow"
 )
 
 // snapshot is the immutable read state of one epoch generation: everything
@@ -22,14 +23,39 @@ type snapshot struct {
 	// (system seed, epoch, key), so results are byte-identical regardless
 	// of reader count, batching, or interleaving with other operations.
 	readSeed int64
+	// mint is the epoch's PoW surface: the puzzle parameters and epoch
+	// string every Mint and VerifyMints of this generation resolve against.
+	// Like the rest of the snapshot it is immutable — an epoch flip swaps
+	// in a fresh one (rotating the string and, under retargeting, τ), which
+	// is exactly how the paper expires minted IDs.
+	mint mintState
+}
+
+// mintState fixes one epoch's puzzle: solve against r at difficulty p.Tau.
+type mintState struct {
+	p pow.Params
+	r []byte
+	// seed roots the per-(miner, index) solver streams of this epoch.
+	seed int64
+	// work is p.Tau expressed as expected attempts per solution — the
+	// retargeting currency.
+	work float64
 }
 
 // newSnapshot captures gen as the system's read state, deriving the
-// epoch's read-randomness root from the configured seed.
-func newSnapshot(seed int64, gen *epoch.Generation) *snapshot {
+// epoch's read-randomness root and mint puzzle from the configured seed
+// and the current mint difficulty.
+func newSnapshot(seed int64, gen *epoch.Generation, mintWork float64) *snapshot {
+	p := pow.Params{Tau: pow.TauForWork(mintWork), StringLen: 32}
 	return &snapshot{
 		gen:      gen,
 		readSeed: engine.TrialSeed(seed, "tinygroups/read-epoch", gen.Epoch),
+		mint: mintState{
+			p:    p,
+			r:    pow.EpochString(seed, gen.Epoch, p.StringLen),
+			seed: engine.TrialSeed(seed, "tinygroups/mint-epoch", gen.Epoch),
+			work: mintWork,
+		},
 	}
 }
 

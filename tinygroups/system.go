@@ -6,12 +6,14 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/adversary"
 	"repro/internal/ba"
 	"repro/internal/epoch"
 	"repro/internal/groups"
 	"repro/internal/hashes"
+	"repro/internal/pow"
 	"repro/internal/ring"
 )
 
@@ -144,6 +146,16 @@ type System struct {
 	// whole value slices under wmu and never mutate one in place, so
 	// lock-free readers always observe a complete value.
 	store sync.Map
+
+	// retarget adapts the mint difficulty from observed solve times; nil
+	// unless WithMintRetarget. Guarded by wmu (AdvanceEpoch is its only
+	// caller). mintSolves/mintNanos/mintAttempts are the lock-free
+	// telemetry Mint feeds it: solve count, summed solve wall-clock, and
+	// summed hash attempts since the last epoch advance.
+	retarget     *pow.Retargeter
+	mintSolves   atomic.Int64
+	mintNanos    atomic.Int64
+	mintAttempts atomic.Int64
 }
 
 // New builds a System of n IDs with trusted initialization (Appendix X)
@@ -180,7 +192,10 @@ func New(n int, opts ...Option) (*System, error) {
 		dyn: dyn,
 		rng: rand.New(rand.NewSource(c.seed + 0x5eed)),
 	}
-	s.snap.Store(newSnapshot(c.seed, dyn.Generation()))
+	if c.mintTarget > 0 {
+		s.retarget = pow.NewRetargeter(c.mintWork, pow.RetargetConfig{TargetSolve: c.mintTarget})
+	}
+	s.snap.Store(newSnapshot(c.seed, dyn.Generation(), c.mintWork))
 	return s, nil
 }
 
@@ -357,7 +372,20 @@ func (s *System) AdvanceEpoch(ctx context.Context) (Stats, error) {
 	if err != nil {
 		return Stats{}, fmt.Errorf("tinygroups: epoch %d aborted: %w", s.dyn.Epoch()+1, err)
 	}
-	s.snap.Store(newSnapshot(s.cfg.seed, s.dyn.Generation()))
+	// Retarget the mint difficulty from the closing epoch's observed solve
+	// times before the string rotates; the counters reset either way so a
+	// later enablement never sees stale history.
+	work := s.snap.Load().mint.work
+	solves, nanos := s.mintSolves.Swap(0), s.mintNanos.Swap(0)
+	s.mintAttempts.Store(0)
+	if s.retarget != nil {
+		if solves > 0 {
+			work = s.retarget.Observe(time.Duration(nanos / solves))
+		} else {
+			work = s.retarget.Work()
+		}
+	}
+	s.snap.Store(newSnapshot(s.cfg.seed, s.dyn.Generation(), work))
 	st := statsFrom(est)
 	if obs := s.cfg.observer; obs != nil {
 		obs.ObserveMint(MintEvent{Epoch: st.Epoch, Minted: st.N, Bad: s.dyn.BadCount()})
