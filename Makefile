@@ -24,7 +24,12 @@ API_PKGS = ./tinygroups ./tinygroups/scenario ./tinygroups/loadgen
 SERVE_PORT ?= 8477
 SERVE_ADDR = 127.0.0.1:$(SERVE_PORT)
 
-.PHONY: build test bench bench-json bench-service bench-pow lint doclint api apicheck smoke-examples serve-smoke ci
+# The separate port chaos-smoke tortures its daemon on, so a concurrent
+# serve-smoke/bench run on SERVE_PORT is never collateral damage.
+CHAOS_PORT ?= 8479
+CHAOS_ADDR = 127.0.0.1:$(CHAOS_PORT)
+
+.PHONY: build test bench bench-json bench-service bench-faults bench-pow lint doclint api apicheck smoke-examples serve-smoke chaos-smoke ci
 
 build:
 	$(GO) build ./...
@@ -115,6 +120,38 @@ bench-service:
 	wait $$pid; \
 	echo "wrote BENCH_service.json"
 
+# chaos-smoke gates crash recovery: cmd/chaos boots the daemon, drives the
+# three adversarial workloads, SIGKILLs it mid-epoch, restarts it, and
+# requires the friendly tail to come back at >= 99% lookup success plus a
+# clean final drain — the kill/restart drill of ARCHITECTURE.md's fault
+# model. A wedged phase trips the harness watchdog, which SIGQUITs the
+# daemon for a goroutine dump before failing.
+chaos-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/tinygroupsd" ./cmd/tinygroupsd; \
+	$(GO) build -o "$$tmp/chaos" ./cmd/chaos; \
+	"$$tmp/chaos" -daemon "$$tmp/tinygroupsd" -addr $(CHAOS_ADDR) -n 512 -ops 300
+
+# bench-faults records the serving layer's measured service level under the
+# adversarial workloads (join-flood, targeted-churn, eclipse-storm) as the
+# committed BENCH_faults.json — the attack-side sibling of bench-service.
+# The success-rate and by-status columns are the headline: they read out
+# how much of the offered adversarial load the system still answered.
+bench-faults:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/tinygroupsd" ./cmd/tinygroupsd; \
+	$(GO) build -o "$$tmp/loadgen" ./cmd/loadgen; \
+	"$$tmp/tinygroupsd" -addr $(SERVE_ADDR) -n 2048 -mint-work 256 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	"$$tmp/loadgen" -addr http://$(SERVE_ADDR) -ops 2000 -concurrency 4 -keys 512 \
+		-workloads join-flood,targeted-churn,eclipse-storm -advance-every 250 \
+		-retries 3 -out BENCH_faults.json; \
+	kill -TERM $$pid; \
+	wait $$pid; \
+	echo "wrote BENCH_faults.json"
+
 # bench-pow records the PoW mining engine's measured throughput — raw
 # hashes/sec (legacy derive-per-attempt stream vs the counter-mode engine),
 # full solves/sec at the reference difficulty, and in-process mint latency
@@ -125,4 +162,4 @@ bench-pow:
 	$(GO) run ./cmd/benchpow -out BENCH_pow.json
 	@echo "wrote BENCH_pow.json"
 
-ci: build lint doclint apicheck test smoke-examples serve-smoke bench bench-pow
+ci: build lint doclint apicheck test smoke-examples serve-smoke chaos-smoke bench bench-faults bench-pow

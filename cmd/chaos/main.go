@@ -1,0 +1,223 @@
+// Command chaos is the kill/restart drill of the fault model: it boots a
+// tinygroupsd daemon, drives the adversarial workload suite against it,
+// SIGKILLs the process mid-epoch, restarts it, and asserts recovery — the
+// restarted daemon answers /healthz and serves a friendly lookup tail at a
+// success rate above the floor. A clean run exits 0; any phase failing, or
+// the whole-run watchdog expiring, exits 1 (the watchdog SIGQUITs the
+// daemon first so its goroutine dump lands in the log, then dumps the
+// harness's own stacks).
+//
+// Usage:
+//
+//	chaos -daemon PATH [-addr HOST:PORT] [-n N] [-mint-work W]
+//	      [-ops N] [-concurrency C] [-keys K] [-seed S]
+//	      [-advance-every N] [-success-floor F] [-timeout D]
+//
+// The op streams are the deterministic attack generators of
+// tinygroups/loadgen, so two chaos runs with equal seeds apply identical
+// pressure; only the kill timing is wall-clock.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime/pprof"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/tinygroups/loadgen"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// daemonProc is one tinygroupsd process under torture.
+type daemonProc struct {
+	cmd *exec.Cmd
+}
+
+// startDaemon launches the daemon binary and returns once the process is
+// spawned (readiness is the caller's WaitReady).
+func startDaemon(bin string, stderr io.Writer, args ...string) (*daemonProc, error) {
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = stderr
+	cmd.Stderr = stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("chaos: start %s: %w", bin, err)
+	}
+	return &daemonProc{cmd: cmd}, nil
+}
+
+// kill SIGKILLs the daemon — the crash under test — and reaps it. The
+// non-zero exit is the point, so the wait error is discarded. cmd.Wait
+// (not Process.Wait) also joins the stdout/stderr copier goroutines, so
+// the dead daemon's log pipes never race the restarted one's.
+func (d *daemonProc) kill() {
+	_ = d.cmd.Process.Kill()
+	_ = d.cmd.Wait()
+}
+
+// stop asks for a graceful drain (SIGTERM) and requires a clean exit
+// within timeout — a botched drain fails the harness.
+func (d *daemonProc) stop(timeout time.Duration) error {
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("chaos: signal daemon: %w", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("chaos: daemon drain exited dirty: %w", err)
+		}
+		return nil
+	case <-time.After(timeout):
+		_ = d.cmd.Process.Kill()
+		return fmt.Errorf("chaos: daemon did not drain within %s", timeout)
+	}
+}
+
+// run executes the chaos sequence and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	daemon := fs.String("daemon", "", "path to the tinygroupsd binary to torture (required)")
+	addr := fs.String("addr", "127.0.0.1:8479", "listen address handed to the daemon")
+	n := fs.Int("n", 512, "population size of the served system")
+	mintWork := fs.Float64("mint-work", 64, "PoW difficulty handed to the daemon (kept low so join-flood mints are cheap)")
+	ops := fs.Int("ops", 400, "operations per workload phase")
+	concurrency := fs.Int("concurrency", 4, "closed-loop client count")
+	keys := fs.Int("keys", 128, "keyspace size")
+	seed := fs.Int64("seed", 1, "workload seed; equal seeds apply identical op streams")
+	advanceEvery := fs.Int("advance-every", 50, "one epoch advance per this many ops in the attack phases")
+	floor := fs.Float64("success-floor", 0.99, "minimum friendly-tail success rate after the restart")
+	timeout := fs.Duration("timeout", 120*time.Second, "whole-run watchdog; expiry dumps goroutines and exits 1")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if len(fs.Args()) != 0 {
+		fmt.Fprintf(stderr, "chaos: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
+	if *daemon == "" {
+		fmt.Fprintln(stderr, "chaos: -daemon is required")
+		return 2
+	}
+
+	// The watchdog is the harness's own liveness bound: if any phase wedges
+	// (a hung drain, a daemon that never comes back), SIGQUIT the daemon so
+	// its goroutine dump lands in the log, dump our own stacks, and fail.
+	var current atomic.Pointer[exec.Cmd]
+	wd := time.AfterFunc(*timeout, func() {
+		fmt.Fprintf(stderr, "chaos: watchdog fired after %s — dumping goroutines\n", *timeout)
+		if c := current.Load(); c != nil && c.Process != nil {
+			_ = c.Process.Signal(syscall.SIGQUIT)
+			time.Sleep(2 * time.Second) // let the daemon's dump flush
+		}
+		_ = pprof.Lookup("goroutine").WriteTo(stderr, 1)
+		os.Exit(1)
+	})
+	defer wd.Stop()
+
+	daemonArgs := []string{
+		"-addr", *addr,
+		"-n", fmt.Sprint(*n),
+		"-seed", fmt.Sprint(*seed),
+		"-mint-work", fmt.Sprint(*mintWork),
+		"-epoch-interval", "100ms",
+	}
+	ctx := context.Background()
+	target := loadgen.NewHTTPTarget("http://"+*addr,
+		loadgen.WithRequestTimeout(2*time.Second),
+		loadgen.WithRetry(3, 10*time.Millisecond),
+	)
+	cfg := loadgen.Config{Concurrency: *concurrency, Ops: *ops, Seed: *seed}
+
+	// Phase 1: boot.
+	d, err := startDaemon(*daemon, stderr, daemonArgs...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	current.Store(d.cmd)
+	defer func() {
+		if c := current.Load(); c != nil && c.Process != nil {
+			_ = c.Process.Kill()
+		}
+	}()
+	if err := target.WaitReady(ctx, 30*time.Second); err != nil {
+		fmt.Fprintf(stderr, "chaos: boot: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "chaos: daemon up at %s (n=%d)\n", *addr, *n)
+
+	// Phase 2: adversarial pressure — the three attack workloads, with the
+	// background epoch ticker churning underneath. Failures are tolerated
+	// here (that is what the attacks are for); transport-level hangs are
+	// not, which the per-attempt timeout enforces.
+	for _, g := range loadgen.AttackSuite(*keys, *advanceEvery) {
+		res, err := loadgen.Run(ctx, target, g, cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "chaos: attack %s: %v\n", g.Name(), err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "chaos: attack %-14s ops=%d ok=%d success=%.3f retries=%d by_status=%v\n",
+			res.Workload, res.Ops, res.OK, res.SuccessRate, res.Retries, res.ByStatus)
+	}
+
+	// Phase 3: SIGKILL mid-epoch. An explicit advance is fired and the
+	// process killed while it is in flight — between the ticker and this,
+	// the crash lands inside an epoch construction with high probability.
+	advCtx, advCancel := context.WithTimeout(ctx, 10*time.Second)
+	go func() {
+		defer advCancel()
+		_, _ = target.Do(advCtx, loadgen.Op{Kind: loadgen.KindAdvance})
+	}()
+	time.Sleep(25 * time.Millisecond)
+	d.kill()
+	advCancel()
+	fmt.Fprintln(stdout, "chaos: daemon SIGKILLed mid-epoch")
+
+	// Phase 4: restart and require /healthz green again.
+	d2, err := startDaemon(*daemon, stderr, daemonArgs...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	current.Store(d2.cmd)
+	if err := target.WaitReady(ctx, 30*time.Second); err != nil {
+		fmt.Fprintf(stderr, "chaos: restart: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "chaos: daemon restarted, healthz green")
+
+	// Phase 5: friendly tail — uniform lookups against the restarted
+	// daemon must clear the success floor (the conceded ε of Theorem 3 is
+	// well under 1% at these sizes).
+	tail, err := loadgen.Run(ctx, target, loadgen.Uniform(*keys), cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "chaos: friendly tail: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "chaos: tail ops=%d ok=%d success=%.4f retries=%d by_status=%v\n",
+		tail.Ops, tail.OK, tail.SuccessRate, tail.Retries, tail.ByStatus)
+	if tail.SuccessRate < *floor {
+		fmt.Fprintf(stderr, "chaos: FAIL — post-restart success %.4f below floor %.4f\n",
+			tail.SuccessRate, *floor)
+		return 1
+	}
+
+	// Phase 6: graceful drain of the survivor.
+	current.Store(nil)
+	if err := d2.stop(30 * time.Second); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "chaos: PASS — recovered at %.4f success (floor %.2f), clean drain\n",
+		tail.SuccessRate, *floor)
+	return 0
+}

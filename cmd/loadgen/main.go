@@ -6,11 +6,15 @@
 //
 //	loadgen [-addr URL] [-ops N] [-concurrency C] [-seed S] [-keys K]
 //	        [-workloads LIST] [-zipf-skew X] [-write-frac F]
-//	        [-advance-every N] [-storm-every N] [-mint-every N] [-out FILE]
+//	        [-advance-every N] [-storm-every N] [-mint-every N]
+//	        [-flood-burst B] [-victim KEY] [-near-pool P] [-eclipse-span F]
+//	        [-retries R] [-retry-base D] [-request-timeout D] [-out FILE]
 //
 // The default sweep runs the six canonical workloads (uniform,
 // zipf-hotspot, readwrite-mix, churn-heavy, epoch-storm, mint-storm) and
-// writes BENCH_service.json.
+// writes BENCH_service.json. The three adversarial workloads (join-flood,
+// targeted-churn, eclipse-storm) are selected explicitly via -workloads —
+// `make bench-faults` runs exactly that sweep into BENCH_faults.json.
 // Op streams are pure functions of (seed, index) — see tinygroups/loadgen
 // — so two sweeps with equal seeds send byte-identical operation
 // sequences regardless of concurrency.
@@ -53,6 +57,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	advanceEvery := fs.Int("advance-every", 500, "churn-heavy: one epoch advance per this many ops")
 	stormEvery := fs.Int("storm-every", 100, "epoch-storm: one epoch advance per this many ops")
 	mintEvery := fs.Int("mint-every", 500, "mint-storm: one epoch advance per this many ops")
+	floodBurst := fs.Int("flood-burst", 16, "join-flood: adversarial mints packed before each advance")
+	victim := fs.String("victim", "victim", "targeted-churn: key whose ring range the churn concentrates on")
+	nearPool := fs.Int("near-pool", 8, "targeted-churn/eclipse-storm: candidate keys drawn per op (concentration strength)")
+	eclipseSpan := fs.Float64("eclipse-span", 0.125, "eclipse-storm: attacked arc as a fraction of the ring")
+	retries := fs.Int("retries", 0, "max extra attempts per op on 429/503 (0 = no retries)")
+	retryBase := fs.Duration("retry-base", 25*time.Millisecond, "decorrelated-jitter backoff base between retries")
+	requestTimeout := fs.Duration("request-timeout", 0, "per-attempt HTTP timeout (0 = target default)")
 	out := fs.String("out", "BENCH_service.json", `report file ("-" = stdout)`)
 	readyTimeout := fs.Duration("ready-timeout", 30*time.Second, "how long to wait for /healthz")
 	if err := fs.Parse(args); err != nil {
@@ -67,13 +78,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	gens, err := pickWorkloads(*workloads, *keys, *zipfSkew, *writeFrac, *advanceEvery, *stormEvery, *mintEvery)
+	gens, err := pickWorkloads(workloadParams{
+		keys: *keys, zipfSkew: *zipfSkew, writeFrac: *writeFrac,
+		advanceEvery: *advanceEvery, stormEvery: *stormEvery, mintEvery: *mintEvery,
+		floodBurst: *floodBurst, victim: *victim, nearPool: *nearPool, eclipseSpan: *eclipseSpan,
+	}, *workloads)
 	if err != nil {
 		fmt.Fprintf(stderr, "loadgen: %v\n", err)
 		return 2
 	}
 
-	target := loadgen.NewHTTPTarget(*addr)
+	target := loadgen.NewHTTPTarget(*addr,
+		loadgen.WithRequestTimeout(*requestTimeout),
+		loadgen.WithRetry(*retries, *retryBase),
+	)
 	if err := target.WaitReady(ctx, *readyTimeout); err != nil {
 		fmt.Fprintf(stderr, "loadgen: %v\n", err)
 		return 1
@@ -95,18 +113,31 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// workloadParams bundles the per-workload tuning flags for pickWorkloads.
+type workloadParams struct {
+	keys                                int
+	zipfSkew, writeFrac, eclipseSpan    float64
+	advanceEvery, stormEvery, mintEvery int
+	floodBurst, nearPool                int
+	victim                              string
+}
+
 // pickWorkloads resolves the -workloads list against the built-in
-// generators, parameterized by the tuning flags.
-func pickWorkloads(list string, keys int, zipfSkew, writeFrac float64, advanceEvery, stormEvery, mintEvery int) ([]loadgen.Generator, error) {
+// generators — friendly and adversarial — parameterized by the tuning
+// flags.
+func pickWorkloads(p workloadParams, list string) ([]loadgen.Generator, error) {
 	byName := map[string]loadgen.Generator{}
 	var known []string
 	for _, g := range []loadgen.Generator{
-		loadgen.Uniform(keys),
-		loadgen.ZipfHotspot(keys, zipfSkew),
-		loadgen.ReadWriteMix(keys, writeFrac),
-		loadgen.ChurnHeavy(keys, advanceEvery),
-		loadgen.EpochStorm(keys, stormEvery),
-		loadgen.MintStorm(mintEvery),
+		loadgen.Uniform(p.keys),
+		loadgen.ZipfHotspot(p.keys, p.zipfSkew),
+		loadgen.ReadWriteMix(p.keys, p.writeFrac),
+		loadgen.ChurnHeavy(p.keys, p.advanceEvery),
+		loadgen.EpochStorm(p.keys, p.stormEvery),
+		loadgen.MintStorm(p.mintEvery),
+		loadgen.JoinFlood(p.keys, p.advanceEvery, p.floodBurst),
+		loadgen.TargetedChurn(p.keys, p.advanceEvery, p.nearPool, p.victim),
+		loadgen.EclipseStorm(p.keys, p.advanceEvery, p.nearPool, p.eclipseSpan),
 	} {
 		byName[g.Name()] = g
 		known = append(known, g.Name())
@@ -148,7 +179,7 @@ func writeReport(rep loadgen.Report, out string, stdout io.Writer) error {
 // printSummary renders the human-readable sweep table.
 func printSummary(w io.Writer, rep loadgen.Report) {
 	tab := metrics.Table{Header: []string{
-		"workload", "ops", "ok", "unreach", "notfound", "err", "ops/s", "p50 ms", "p99 ms", "read p99", "mint p99",
+		"workload", "ops", "ok", "succ", "unreach", "notfound", "err", "retries", "ops/s", "p50 ms", "p99 ms", "read p99", "mint p99",
 	}}
 	for _, r := range rep.Workloads {
 		readP99, mintP99 := "-", "-"
@@ -160,8 +191,10 @@ func printSummary(w io.Writer, rep loadgen.Report) {
 		}
 		tab.Append(r.Workload,
 			fmt.Sprintf("%d", r.Ops), fmt.Sprintf("%d", r.OK),
+			fmt.Sprintf("%.3f", r.SuccessRate),
 			fmt.Sprintf("%d", r.Unreachable), fmt.Sprintf("%d", r.NotFound),
 			fmt.Sprintf("%d", r.Errors),
+			fmt.Sprintf("%d", r.Retries),
 			fmt.Sprintf("%.0f", r.Throughput),
 			fmt.Sprintf("%.2f", r.P50Millis), fmt.Sprintf("%.2f", r.P99Millis),
 			readP99, mintP99,

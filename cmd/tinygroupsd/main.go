@@ -6,7 +6,7 @@
 //
 //	tinygroupsd [-addr HOST:PORT] [-n N] [-beta B] [-overlay NAME]
 //	            [-seed S] [-workers W] [-epoch-interval D]
-//	            [-max-batch K] [-queue Q]
+//	            [-max-batch K] [-queue Q] [-write-timeout D]
 //	            [-mint-work W] [-mint-target D]
 //
 // Endpoints (all JSON):
@@ -70,6 +70,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) int {
 	epochEvery := fs.Duration("epoch-interval", 0, "advance the epoch on this period in the background (0 = only via /v1/epoch/advance)")
 	maxBatch := fs.Int("max-batch", 256, "max queued lookups (or puts) coalesced into one batch call")
 	queueCap := fs.Int("queue", 1024, "bounded request queue capacity; a full queue answers 429")
+	writeTimeout := fs.Duration("write-timeout", 10*time.Second, "bound on how long an accepted write may wait on the dispatcher before answering 504 (0 = unbounded)")
 	mintWork := fs.Float64("mint-work", 1<<14, "PoW difficulty of /v1/mint in expected hash attempts per ID")
 	mintTarget := fs.Duration("mint-target", 0, "retarget mint difficulty toward this mean solve time at each epoch advance (0 = fixed difficulty)")
 	if err := fs.Parse(args); err != nil {
@@ -95,10 +96,11 @@ func run(ctx context.Context, args []string, stderr io.Writer) int {
 
 	logf := lg.Printf
 	srv := serve.New(sys, serve.Config{
-		MaxBatch:   *maxBatch,
-		QueueCap:   *queueCap,
-		EpochEvery: *epochEvery,
-		Logf:       logf,
+		MaxBatch:     *maxBatch,
+		QueueCap:     *queueCap,
+		EpochEvery:   *epochEvery,
+		WriteTimeout: *writeTimeout,
+		Logf:         logf,
 	})
 	logf("tinygroupsd: n=%d beta=%v overlay=%s seed=%d workers=%d epoch-interval=%s mint-work=%v mint-target=%s",
 		*n, *beta, *overlay, *seed, *workers, *epochEvery, *mintWork, *mintTarget)

@@ -99,6 +99,8 @@ func statusOf(err error) (status int, code string) {
 		return http.StatusServiceUnavailable, "closed"
 	case errors.Is(err, errQueueFull):
 		return http.StatusTooManyRequests, "queue_full"
+	case errors.Is(err, errWriteTimeout):
+		return http.StatusGatewayTimeout, "write_timeout"
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, "canceled"
 	default:

@@ -14,6 +14,7 @@ type counters struct {
 	mints, verifies                                 atomic.Int64
 	errors4xx, errors5xx                            atomic.Int64
 	queueRejects                                    atomic.Int64
+	writeTimeouts                                   atomic.Int64
 	epochsAdvanced                                  atomic.Int64
 
 	putBatches, putBatchedOps atomic.Int64
@@ -63,8 +64,11 @@ type MetricsSnapshot struct {
 	} `json:"batch"`
 
 	// QueueRejects counts write requests shed with 429 by the bounded
-	// write queue; reads are never shed.
+	// write queue; reads are never shed. WriteTimeouts counts accepted
+	// writes whose handlers gave up with 504 before the dispatcher
+	// confirmed them (the queued work still ran).
 	QueueRejects   int64 `json:"queue_rejects"`
+	WriteTimeouts  int64 `json:"write_timeouts"`
 	EpochsAdvanced int64 `json:"epochs_advanced"`
 }
 
@@ -89,6 +93,7 @@ func (c *counters) snapshot() MetricsSnapshot {
 		s.Batch.MeanPut = float64(s.Batch.PutOps) / float64(s.Batch.PutCalls)
 	}
 	s.QueueRejects = c.queueRejects.Load()
+	s.WriteTimeouts = c.writeTimeouts.Load()
 	s.EpochsAdvanced = c.epochsAdvanced.Load()
 	return s
 }

@@ -51,6 +51,14 @@ type Config struct {
 	// the previous advance to finish) and the in-flight advance is
 	// cancelled cooperatively on Shutdown.
 	EpochEvery time.Duration
+	// WriteTimeout, when positive, bounds how long an accepted write may
+	// wait on the dispatcher before its handler gives up with a typed
+	// 504 (code "write_timeout"). The queued work itself is not revoked —
+	// the dispatcher still executes it when its turn comes, standard
+	// gateway-timeout semantics ("not confirmed in time", not "not
+	// done") — but the client gets a deterministic fast failure instead
+	// of a stall behind a saturated queue. Zero disables the bound.
+	WriteTimeout time.Duration
 	// Logf, when non-nil, receives one line per lifecycle event (start,
 	// epoch advance, shutdown). Requests are not logged.
 	Logf func(format string, args ...any)
@@ -62,10 +70,12 @@ type Config struct {
 	hookBeforeBatch func()
 }
 
-// errors returned by enqueue, mapped to HTTP statuses by the handlers.
+// errors returned by the write path, mapped to HTTP statuses by the
+// handlers.
 var (
-	errQueueFull = errors.New("serve: request queue full")
-	errDraining  = errors.New("serve: server draining")
+	errQueueFull    = errors.New("serve: request queue full")
+	errDraining     = errors.New("serve: server draining")
+	errWriteTimeout = errors.New("serve: write not confirmed within the write timeout")
 )
 
 // Server serves a tinygroups.System over HTTP/JSON. Create one with New,
@@ -230,23 +240,50 @@ func (s *Server) enqueue(r *request) error {
 	}
 }
 
-// doPut enqueues one put and waits for the dispatcher's reply.
+// doPut enqueues one put and waits — bounded by WriteTimeout when set —
+// for the dispatcher's reply. On timeout the handler answers 504 while
+// the queued put still executes when its turn comes (its reply channel is
+// buffered, so the dispatcher never blocks on an abandoned waiter).
 func (s *Server) doPut(key string, value []byte) (tinygroups.BatchResult, error) {
 	r := &request{kind: kindPut, key: key, value: value, done: make(chan tinygroups.BatchResult, 1)}
 	if err := s.enqueue(r); err != nil {
 		return tinygroups.BatchResult{}, err
 	}
+	if d := s.cfg.WriteTimeout; d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		select {
+		case br := <-r.done:
+			return br, nil
+		case <-timer.C:
+			s.m.writeTimeouts.Add(1)
+			return tinygroups.BatchResult{}, errWriteTimeout
+		}
+	}
 	return <-r.done, nil
 }
 
 // doExec runs fn on the dispatcher goroutine, serialized against every
-// other write, and waits for it to finish. fn runs even during shutdown
-// drain, so callers always get an answer.
+// other write, and waits — bounded by WriteTimeout when set — for it to
+// finish. fn runs even during shutdown drain, so callers always get an
+// answer; a caller that times out must not read fn's results (the closure
+// still runs later, unobserved).
 func (s *Server) doExec(fn func()) error {
 	done := make(chan struct{})
 	r := &request{kind: kindExec, exec: func() { fn(); close(done) }}
 	if err := s.enqueue(r); err != nil {
 		return err
+	}
+	if d := s.cfg.WriteTimeout; d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		select {
+		case <-done:
+			return nil
+		case <-timer.C:
+			s.m.writeTimeouts.Add(1)
+			return errWriteTimeout
+		}
 	}
 	<-done
 	return nil

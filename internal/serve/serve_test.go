@@ -49,6 +49,8 @@ func TestStatusOf(t *testing.T) {
 		{tinygroups.ErrClosed, http.StatusServiceUnavailable, "closed"},
 		{errDraining, http.StatusServiceUnavailable, "closed"},
 		{errQueueFull, http.StatusTooManyRequests, "queue_full"},
+		{errWriteTimeout, http.StatusGatewayTimeout, "write_timeout"},
+		{fmt.Errorf("wrapped: %w", errWriteTimeout), http.StatusGatewayTimeout, "write_timeout"},
 		{context.Canceled, http.StatusGatewayTimeout, "canceled"},
 		{context.DeadlineExceeded, http.StatusGatewayTimeout, "canceled"},
 		{fmt.Errorf("boom"), http.StatusInternalServerError, "internal"},
@@ -314,6 +316,103 @@ func TestQueueFull(t *testing.T) {
 	<-r2.done
 	if s.m.queueRejects.Load() != 1 {
 		t.Fatalf("queueRejects = %d, want 1", s.m.queueRejects.Load())
+	}
+}
+
+// TestWriteTimeout wedges the dispatcher mid-batch and checks an accepted
+// put gives up with the typed 504 after WriteTimeout — while reads, which
+// never touch the queue, keep answering — and that the abandoned put still
+// executes once the dispatcher frees up (gateway-timeout semantics: the
+// work is late, not revoked).
+func TestWriteTimeout(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	var once bool
+	s := newTestServer(t, Config{
+		WriteTimeout: 20 * time.Millisecond,
+		hookBeforeBatch: func() {
+			if !once { // hold only the first flush; cleanup must drain free
+				once = true
+				entered <- struct{}{}
+				<-gate
+			}
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(map[string]any{"key": "late-write", "value": []byte("v")})
+	resp, err := http.Post(ts.URL+"/v1/put", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	<-entered // the dispatcher did take the put before wedging
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("put status = %d, want 504", resp.StatusCode)
+	}
+	var e errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != "write_timeout" {
+		t.Fatalf("code = %q, want write_timeout", e.Code)
+	}
+	if got := s.m.writeTimeouts.Load(); got != 1 {
+		t.Fatalf("writeTimeouts = %d, want 1", got)
+	}
+
+	// Reads never queue behind the wedged dispatcher.
+	if _, err := s.sys.Lookup(context.Background(), "read-during-wedge"); err != nil && err != tinygroups.ErrUnreachable {
+		t.Fatalf("lookup during wedged dispatcher: %v", err)
+	}
+
+	// Release the dispatcher: the timed-out put still runs — its value is
+	// readable afterwards (unless the key routes unreachable, the conceded ε).
+	close(gate)
+	deadline := time.Now().Add(10 * time.Second)
+	for s.m.putBatches.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned put never flushed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if v, _, err := s.sys.Get(context.Background(), "late-write"); err == nil && string(v) != "v" {
+		t.Fatalf("abandoned put stored %q, want %q", v, "v")
+	}
+}
+
+// TestReadsSurviveCancelledAdvance cancels an epoch advance mid-flight and
+// checks the degradation contract: the advance reports the cancellation,
+// the epoch snapshot never flips, reads keep serving the pinned snapshot,
+// and a later advance succeeds normally.
+func TestReadsSurviveCancelledAdvance(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // RunEpochContext aborts cooperatively between batches
+	if _, err := s.advanceEpoch(ctx); err == nil {
+		t.Fatal("cancelled advance reported success")
+	}
+	if got := s.sys.Epoch(); got != 0 {
+		t.Fatalf("epoch = %d after cancelled advance, want 0 (snapshot must not flip)", got)
+	}
+	if got := s.epoch.Load(); got != 0 {
+		t.Fatalf("epoch mirror = %d after cancelled advance, want 0", got)
+	}
+
+	// Reads still serve the pinned snapshot.
+	if _, err := s.sys.Lookup(context.Background(), "read-after-abort"); err != nil && err != tinygroups.ErrUnreachable {
+		t.Fatalf("lookup after aborted advance: %v", err)
+	}
+
+	// The system is not wedged: the next advance completes.
+	st, err := s.advanceEpoch(context.Background())
+	if err != nil {
+		t.Fatalf("advance after aborted advance: %v", err)
+	}
+	if st.Epoch != 1 {
+		t.Fatalf("epoch = %d, want 1", st.Epoch)
 	}
 }
 

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"slices"
+
+	"repro/internal/engine"
+)
+
+// Faults configures deterministic network fault injection: message drops,
+// round-shifted delayed redelivery, and round-windowed partitions. Every
+// per-message fate is a pure function of (Seed, round, sender, recipient,
+// send index) — never of scheduling — so a faulty run is byte-identical at
+// every worker count, exactly like a fault-free one. The zero value (and a
+// nil *Faults) injects nothing.
+//
+// Faults compose with the topology restriction: a message must first be
+// permitted by the topology (otherwise it counts as Dropped), then survive
+// the partition and drop draws (otherwise FaultDropped), then the delay
+// draw (Delayed; redelivered whole rounds later). The two drop counters
+// stay separate so fault runs remain auditable — topology filtering is the
+// overlay working as designed, fault drops are the adversary's weather.
+type Faults struct {
+	// Seed roots the fault randomness stream. It is deliberately separate
+	// from any node-level seed so the same protocol run can be replayed
+	// under different weather (or the same weather over different
+	// protocols) by varying one knob.
+	Seed int64
+	// Drop is the per-message drop probability in [0,1].
+	Drop float64
+	// Delay is the per-message delay probability in [0,1]. A delayed
+	// message sent in round r is delivered at the start of round
+	// r+1+δ with δ drawn uniformly from {1, …, MaxDelay} — a whole-round
+	// shift, preserving the synchronous model.
+	Delay float64
+	// MaxDelay bounds the extra rounds a delayed message waits; values
+	// below 1 are treated as 1.
+	MaxDelay int
+	// Partitions lists round-windowed network splits. Multiple windows may
+	// overlap; a message crossing any active boundary is dropped.
+	Partitions []Partition
+}
+
+// Partition isolates a node set for a window of rounds: while
+// From ≤ round < Until, every message between an Isolate member and a
+// non-member is dropped (in both directions) and counted as FaultDropped.
+// Traffic within the isolated set, and within its complement, flows
+// normally — the classic split-brain shape.
+type Partition struct {
+	From, Until int
+	Isolate     []NodeID
+}
+
+// faultState is the network's compiled fault configuration.
+type faultState struct {
+	cfg  Faults
+	base uint64 // hash-derived root of the per-message fate streams
+	// isolated[p] is the sorted Isolate set of cfg.Partitions[p].
+	isolated [][]NodeID
+}
+
+// SetFaults installs (or, with nil, removes) fault injection. The
+// configuration is copied; pending delayed messages from a previous fault
+// configuration are discarded.
+func (nw *Network) SetFaults(f *Faults) {
+	if f == nil {
+		nw.faults = nil
+		nw.pending = nil
+		return
+	}
+	cfg := *f
+	if cfg.MaxDelay < 1 {
+		cfg.MaxDelay = 1
+	}
+	st := &faultState{
+		cfg: cfg,
+		// One TrialSeed hash roots the whole fault stream; per-message
+		// fates then mix in their coordinates (see msgSeed).
+		base:     uint64(engine.TrialSeed(cfg.Seed, "sim/faults", 0)),
+		isolated: make([][]NodeID, len(cfg.Partitions)),
+	}
+	for p, part := range cfg.Partitions {
+		s := make([]NodeID, len(part.Isolate))
+		copy(s, part.Isolate)
+		slices.Sort(s)
+		st.isolated[p] = s
+	}
+	nw.faults = st
+	nw.pending = make([][]pendingMsg, len(nw.nodes))
+}
+
+// pendingMsg is one delayed message waiting for its delivery round.
+type pendingMsg struct {
+	at int // round whose inbox receives the message
+	m  Message
+}
+
+// mix64 is the splitmix64 finalizer — the avalanche step engine.Stream is
+// built on, reused here to fold message coordinates into the fault stream.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// msgSeed derives the fate-stream seed of the k-th message of sender u's
+// round-r outbox to recipient d: the TrialSeed-rooted base chained through
+// one avalanche per coordinate. The composition is injective over the
+// coordinate ranges any simulation reaches (each coordinate is absorbed in
+// a separate full-width step), so distinct messages get independent
+// streams while identical runs get identical fates — regardless of which
+// worker routes the message.
+func (fs *faultState) msgSeed(r int, u int, d NodeID, k int) int64 {
+	s := mix64(fs.base ^ uint64(r)*0x9e3779b97f4a7c15)
+	s = mix64(s ^ uint64(u)*0xbf58476d1ce4e5b9)
+	s = mix64(s ^ uint64(d)*0x94d049bb133111eb)
+	s = mix64(s ^ uint64(k)*0xd6e8feb86659fd93)
+	return int64(s >> 1)
+}
+
+// partitioned reports whether an active partition window separates u from d
+// in round r. Pure data lookup — no randomness.
+func (fs *faultState) partitioned(r int, u NodeID, d NodeID) bool {
+	for p, part := range fs.cfg.Partitions {
+		if r < part.From || r >= part.Until {
+			continue
+		}
+		_, uIn := slices.BinarySearch(fs.isolated[p], u)
+		_, dIn := slices.BinarySearch(fs.isolated[p], d)
+		if uIn != dIn {
+			return true
+		}
+	}
+	return false
+}
+
+// fate draws the k-th message's outcome: drop, deliver after delay δ > 0,
+// or deliver on time (δ = 0). One engine.Stream per message, seeded from
+// the message's coordinates.
+func (fs *faultState) fate(r int, u int, d NodeID, k int) (drop bool, delta int) {
+	if fs.cfg.Drop <= 0 && fs.cfg.Delay <= 0 {
+		return false, 0
+	}
+	rng := engine.NewStream(fs.msgSeed(r, u, d, k))
+	if fs.cfg.Drop > 0 && rng.Float64() < fs.cfg.Drop {
+		return true, 0
+	}
+	if fs.cfg.Delay > 0 && rng.Float64() < fs.cfg.Delay {
+		return false, 1 + rng.Intn(fs.cfg.MaxDelay)
+	}
+	return false, 0
+}

@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"testing"
+)
+
+// pairNode sends one message per round to a fixed peer and records what it
+// receives — the minimal bidirectional traffic for fault accounting tests.
+type pairNode struct {
+	peer NodeID
+	got  []int
+	out  []Message
+}
+
+func (p *pairNode) Step(round int, inbox []Message) []Message {
+	for _, m := range inbox {
+		p.got = append(p.got, m.Payload.(int))
+	}
+	p.out = p.out[:0]
+	p.out = append(p.out, Message{To: p.peer, Payload: round})
+	return p.out
+}
+
+// TestFaultsZeroValueInjectsNothing pins the no-op contract: a zero Faults
+// config changes no delivery and no counter.
+func TestFaultsZeroValueInjectsNothing(t *testing.T) {
+	build := func(f *Faults) Stats {
+		a := &pairNode{peer: 1}
+		b := &pairNode{peer: 0}
+		nw := New([]Node{a, b})
+		nw.SetFaults(f)
+		return nw.Run(10)
+	}
+	clean := build(nil)
+	zero := build(&Faults{Seed: 7})
+	if clean != zero {
+		t.Fatalf("zero-value faults changed stats: %+v vs %+v", clean, zero)
+	}
+	if zero.FaultDropped != 0 || zero.Delayed != 0 {
+		t.Fatalf("zero-value faults produced fault counters: %+v", zero)
+	}
+}
+
+// TestFaultDropRate checks the drop draw destroys roughly the configured
+// fraction, counts it as FaultDropped (never Dropped), and conserves
+// messages: sent = delivered + dropped.
+func TestFaultDropRate(t *testing.T) {
+	const n, rounds = 40, 50
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = &pairNode{peer: NodeID((i + 1) % n)}
+	}
+	nw := New(nodes)
+	nw.SetFaults(&Faults{Seed: 1, Drop: 0.3})
+	st := nw.Run(rounds)
+	sent := int64(n * rounds)
+	if st.Delivered+st.FaultDropped != sent {
+		t.Fatalf("delivered %d + fault-dropped %d != sent %d", st.Delivered, st.FaultDropped, sent)
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("fault drops leaked into the topology counter: %+v", st)
+	}
+	frac := float64(st.FaultDropped) / float64(sent)
+	if frac < 0.2 || frac > 0.4 {
+		t.Fatalf("drop fraction %.3f, want ≈0.30", frac)
+	}
+}
+
+// TestFaultDelayRedelivery checks a delayed message is really redelivered
+// whole rounds later: with Delay 1 every message shifts by 1..MaxDelay
+// extra rounds, nothing is lost over a long run, and redeliveries land
+// before on-time traffic.
+func TestFaultDelayRedelivery(t *testing.T) {
+	a := &pairNode{peer: 1}
+	b := &pairNode{peer: 0}
+	nw := New([]Node{a, b})
+	nw.SetFaults(&Faults{Seed: 3, Delay: 1, MaxDelay: 3})
+	const rounds = 60
+	st := nw.Run(rounds)
+	if st.Delayed != int64(2*rounds) {
+		t.Fatalf("delayed = %d, want %d (every message delays at Delay=1)", st.Delayed, 2*rounds)
+	}
+	// Each node received every payload 0..k for some prefix k bounded by
+	// the tail still pending; payloads may arrive out of order across
+	// rounds but none may be lost or duplicated.
+	for name, node := range map[string]*pairNode{"a": a, "b": b} {
+		seen := map[int]int{}
+		for _, v := range node.got {
+			seen[v]++
+		}
+		for v, c := range seen {
+			if c != 1 {
+				t.Fatalf("%s: payload %d delivered %d times", name, v, c)
+			}
+		}
+		if len(seen) < rounds-4 { // MaxDelay+1 rounds may still be in flight
+			t.Fatalf("%s: only %d/%d payloads arrived", name, len(seen), rounds)
+		}
+	}
+}
+
+// TestFaultPartitionWindow checks a partition window drops exactly the
+// boundary-crossing traffic during its rounds and heals afterwards.
+func TestFaultPartitionWindow(t *testing.T) {
+	// 0↔1 and 2↔3 pairs; isolate {0,1} for rounds [2,5).
+	nodes := []Node{
+		&pairNode{peer: 1}, &pairNode{peer: 0},
+		&pairNode{peer: 3}, &pairNode{peer: 2},
+	}
+	nw := New(nodes)
+	nw.SetFaults(&Faults{Seed: 1, Partitions: []Partition{{From: 2, Until: 5, Isolate: []NodeID{0, 1}}}})
+	st := nw.Run(10)
+	// Intra-pair traffic never crosses the {0,1} boundary, so nothing drops.
+	if st.FaultDropped != 0 {
+		t.Fatalf("intra-side traffic dropped: %+v", st)
+	}
+	// Re-wire 0→2 (crosses the boundary) and re-run the window.
+	cross := []Node{
+		&pairNode{peer: 2}, &pairNode{peer: 0},
+		&pairNode{peer: 0}, &pairNode{peer: 2},
+	}
+	nw = New(cross)
+	nw.SetFaults(&Faults{Seed: 1, Partitions: []Partition{{From: 2, Until: 5, Isolate: []NodeID{0, 1}}}})
+	st = nw.Run(10)
+	// Crossing links: 0→2, 2→0 and 1→0 stays inside, 3→2 inside. During
+	// rounds 2,3,4 the two crossing links each lose one message per round.
+	if st.FaultDropped != 2*3 {
+		t.Fatalf("fault-dropped = %d, want 6 (2 crossing links × 3 windowed rounds)", st.FaultDropped)
+	}
+	if st.Delivered != 4*10-6 {
+		t.Fatalf("delivered = %d, want %d", st.Delivered, 4*10-6)
+	}
+}
+
+// TestFaultyWorkerCountNeverChangesResults extends the repo's worker-count
+// invariance gate to faulty runs: one deterministic traffic pattern under
+// drops + delays + a partition window must produce identical per-node
+// observation traces and stats at every pool size. This is the regression
+// the fault layer's pure-function-of-coordinates design exists to pass.
+func TestFaultyWorkerCountNeverChangesResults(t *testing.T) {
+	run := func(workers int) ([][]int64, Stats) {
+		const n = 31
+		nodes := make([]Node, n)
+		tns := make([]*trafficNode, n)
+		adj := make([][]NodeID, n)
+		for i := range nodes {
+			tns[i] = &trafficNode{self: NodeID(i), n: n}
+			nodes[i] = tns[i]
+			for d := 1; d <= 4; d++ {
+				adj[i] = append(adj[i], NodeID((i+d)%n))
+			}
+		}
+		nw := New(nodes)
+		nw.SetTopology(adj)
+		nw.SetFaults(&Faults{
+			Seed: 42, Drop: 0.15, Delay: 0.25, MaxDelay: 3,
+			Partitions: []Partition{{From: 3, Until: 6, Isolate: []NodeID{0, 1, 2, 3, 4, 5, 6, 7}}},
+		})
+		nw.SetWorkers(workers)
+		st := nw.Run(12)
+		traces := make([][]int64, n)
+		for i, tn := range tns {
+			traces[i] = tn.trace
+		}
+		return traces, st
+	}
+	wantTraces, wantStats := run(1)
+	if wantStats.FaultDropped == 0 || wantStats.Delayed == 0 {
+		t.Fatalf("fault config injected nothing: %+v", wantStats)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		traces, stats := run(workers)
+		if stats != wantStats {
+			t.Fatalf("workers=%d: stats %+v, want %+v", workers, stats, wantStats)
+		}
+		for i := range traces {
+			if len(traces[i]) != len(wantTraces[i]) {
+				t.Fatalf("workers=%d: node %d trace length diverges", workers, i)
+			}
+			for j := range wantTraces[i] {
+				if traces[i][j] != wantTraces[i][j] {
+					t.Fatalf("workers=%d: node %d trace diverges at round %d", workers, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestFaultFateIsPureFunctionOfCoordinates re-runs one faulty configuration
+// twice and demands identical stats and traces — the reproducibility half
+// of the determinism contract (the invariance test covers scheduling).
+func TestFaultFateIsPureFunctionOfCoordinates(t *testing.T) {
+	run := func() Stats {
+		const n = 16
+		nodes := make([]Node, n)
+		for i := range nodes {
+			nodes[i] = &pairNode{peer: NodeID((i + 5) % n)}
+		}
+		nw := New(nodes)
+		nw.SetFaults(&Faults{Seed: 9, Drop: 0.2, Delay: 0.2, MaxDelay: 2})
+		return nw.Run(30)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("identical configs diverged: %+v vs %+v", a, b)
+	}
+	// And a different fault seed must change the weather.
+	nodes := make([]Node, 16)
+	for i := range nodes {
+		nodes[i] = &pairNode{peer: NodeID((i + 5) % 16)}
+	}
+	nw := New(nodes)
+	nw.SetFaults(&Faults{Seed: 10, Drop: 0.2, Delay: 0.2, MaxDelay: 2})
+	if c := nw.Run(30); c == a {
+		t.Fatalf("fault seeds 9 and 10 produced identical stats %+v — seed not wired", c)
+	}
+}

@@ -3,6 +3,8 @@ package loadgen
 import (
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
@@ -70,6 +72,20 @@ type Result struct {
 	MintOps       int     `json:"mint_ops,omitempty"`
 	MintP50Millis float64 `json:"mint_p50_ms,omitempty"`
 	MintP99Millis float64 `json:"mint_p99_ms,omitempty"`
+	// SuccessRate is OK/Ops — the headline number of an attack run: the
+	// fraction of operations the system answered successfully under
+	// whatever pressure the workload applied.
+	SuccessRate float64 `json:"success_rate"`
+	// ByStatus breaks every non-OK operation down by its cause:
+	// "unreachable" and "not_found" for the semantic outcomes, "http_NNN"
+	// for transport-level statuses (429 saturation, 503 draining, 504
+	// write timeouts), "error" for everything else. Empty when every op
+	// succeeded.
+	ByStatus map[string]int `json:"by_status,omitempty"`
+	// Retries counts transport-level retry attempts the target performed
+	// (see WithRetry). A retried-then-successful op counts once in OK and
+	// once per extra attempt here — retries never inflate success.
+	Retries int64 `json:"retries,omitempty"`
 }
 
 // workerTally is one worker's private accounting, merged after the run so
@@ -79,6 +95,27 @@ type workerTally struct {
 	readLat                            metrics.Summary
 	mintLat                            metrics.Summary
 	ok, unreachable, notFound, errored int
+	byStatus                           map[string]int
+}
+
+// count records one non-OK cause in the worker's by-status breakdown.
+func (t *workerTally) count(key string) {
+	if t.byStatus == nil {
+		t.byStatus = make(map[string]int)
+	}
+	t.byStatus[key]++
+}
+
+// statusKey classifies one non-OK result for the ByStatus breakdown.
+func statusKey(out Outcome, err error) string {
+	if err == nil {
+		return out.String()
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return fmt.Sprintf("http_%d", se.Status)
+	}
+	return "error"
 }
 
 // Run drives gen against target closed-loop and returns the measured
@@ -90,6 +127,10 @@ type workerTally struct {
 func Run(ctx context.Context, target Target, gen Generator, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	tallies := make([]workerTally, cfg.Concurrency)
+	var retriesBefore int64
+	if rc, ok := target.(RetryCounter); ok {
+		retriesBefore = rc.Retries()
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -116,12 +157,15 @@ func Run(ctx context.Context, target Target, gen Generator, cfg Config) (Result,
 				switch {
 				case err != nil:
 					t.errored++
+					t.count(statusKey(out, err))
 				case out == OK:
 					t.ok++
 				case out == Unreachable:
 					t.unreachable++
+					t.count(statusKey(out, nil))
 				case out == NotFound:
 					t.notFound++
+					t.count(statusKey(out, nil))
 				}
 			}
 		}(&tallies[w])
@@ -140,8 +184,20 @@ func Run(ctx context.Context, target Target, gen Generator, cfg Config) (Result,
 		res.Unreachable += t.unreachable
 		res.NotFound += t.notFound
 		res.Errors += t.errored
+		for k, c := range t.byStatus {
+			if res.ByStatus == nil {
+				res.ByStatus = make(map[string]int)
+			}
+			res.ByStatus[k] += c
+		}
+	}
+	if rc, ok := target.(RetryCounter); ok {
+		res.Retries = rc.Retries() - retriesBefore
 	}
 	res.Ops = lat.N()
+	if res.Ops > 0 {
+		res.SuccessRate = float64(res.OK) / float64(res.Ops)
+	}
 	if res.Seconds > 0 {
 		res.Throughput = float64(res.Ops) / res.Seconds
 	}

@@ -9,8 +9,10 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/engine"
 	"repro/tinygroups"
 )
 
@@ -48,21 +50,97 @@ type Target interface {
 	Do(ctx context.Context, op Op) (Outcome, error)
 }
 
+// RetryCounter is the optional interface of targets that retry failed
+// attempts internally (see WithRetry). Run reads it before and after a
+// workload to attribute the delta to that workload's Result.Retries —
+// retries are accounted separately and never inflate the success count.
+type RetryCounter interface {
+	// Retries returns the cumulative retry count of the target.
+	Retries() int64
+}
+
+// StatusError reports an HTTP response status the target has no semantic
+// mapping for. The driver's per-status breakdown (Result.ByStatus) keys
+// off Status, so saturation 429s, draining 503s and write-timeout 504s
+// stay distinguishable in attack reports.
+type StatusError struct {
+	Method string
+	Path   string
+	Status int
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("loadgen: %s %s: unexpected status %d", e.Method, e.Path, e.Status)
+}
+
+// defaultRequestTimeout bounds each HTTP attempt unless WithRequestTimeout
+// overrides it. 10s is far above any healthy endpoint's p99 (mints
+// included) while letting chaos runs fail fast instead of hanging a
+// closed-loop worker on a killed daemon.
+const defaultRequestTimeout = 10 * time.Second
+
+// TargetOption configures an HTTPTarget.
+type TargetOption func(*HTTPTarget)
+
+// WithRequestTimeout bounds each HTTP attempt (the http.Client timeout).
+// Non-positive values keep the default.
+func WithRequestTimeout(d time.Duration) TargetOption {
+	return func(t *HTTPTarget) {
+		if d > 0 {
+			t.client.Timeout = d
+		}
+	}
+}
+
+// WithRetry enables bounded retries of attempts answered 429 (write queue
+// saturated) or 503 (draining/restarting): up to max extra attempts per
+// op, spaced by decorrelated-jitter backoff growing from base. Retries are
+// counted on the Retries counter — the driver reports them separately, so
+// a retried success never hides the rejection that preceded it. The
+// backoff jitter is timing-only: it cannot affect which operations run or
+// what they contain.
+func WithRetry(max int, base time.Duration) TargetOption {
+	return func(t *HTTPTarget) {
+		if max < 0 {
+			max = 0
+		}
+		if base <= 0 {
+			base = 25 * time.Millisecond
+		}
+		t.maxRetries = max
+		t.backoffBase = base
+	}
+}
+
 // HTTPTarget drives a tinygroupsd daemon over its /v1 endpoints.
 type HTTPTarget struct {
 	base   string
 	client *http.Client
+
+	maxRetries  int
+	backoffBase time.Duration
+	retries     atomic.Int64
+	backoffSeed atomic.Uint64 // per-sleep jitter stream; timing-only
 }
 
 // NewHTTPTarget returns a target for the daemon at baseURL (e.g.
 // "http://127.0.0.1:8477"). Connections are pooled and reused across the
-// closed-loop workers.
-func NewHTTPTarget(baseURL string) *HTTPTarget {
-	return &HTTPTarget{
+// closed-loop workers. By default each attempt is bounded by a 10s timeout
+// and nothing retries; see WithRequestTimeout and WithRetry.
+func NewHTTPTarget(baseURL string, opts ...TargetOption) *HTTPTarget {
+	t := &HTTPTarget{
 		base:   baseURL,
-		client: &http.Client{Timeout: 60 * time.Second},
+		client: &http.Client{Timeout: defaultRequestTimeout},
 	}
+	for _, opt := range opts {
+		opt(t)
+	}
+	return t
 }
+
+// Retries implements RetryCounter.
+func (t *HTTPTarget) Retries() int64 { return t.retries.Load() }
 
 // WaitReady polls /healthz until the daemon answers 200, ctx cancels, or
 // timeout elapses — the startup handshake of cmd/loadgen and the smoke
@@ -93,22 +171,44 @@ func (t *HTTPTarget) WaitReady(ctx context.Context, timeout time.Duration) error
 }
 
 // jsonBody marshals v for a request body.
-func jsonBody(v any) (io.Reader, error) {
-	b, err := json.Marshal(v)
-	if err != nil {
-		return nil, err
+func jsonBody(v any) ([]byte, error) {
+	return json.Marshal(v)
+}
+
+// backoff sleeps one decorrelated-jitter step: uniform in [base, 3·prev],
+// capped at 32× base. The jitter stream is a private splitmix sequence —
+// deterministic per target, but purely a wall-clock knob; op content never
+// depends on it.
+func (t *HTTPTarget) backoff(ctx context.Context, prev time.Duration) time.Duration {
+	lo := t.backoffBase
+	hi := 3 * prev
+	if hi < lo {
+		hi = lo
 	}
-	return bytes.NewReader(b), nil
+	if ceil := 32 * t.backoffBase; hi > ceil {
+		hi = ceil
+	}
+	d := lo
+	if hi > lo {
+		rng := engine.NewStream(int64(t.backoffSeed.Add(1)))
+		d = lo + time.Duration(rng.Uint64n(uint64(hi-lo)))
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(d):
+	}
+	return d
 }
 
 // Do implements Target by mapping op kinds onto the daemon's endpoints and
 // HTTP statuses back onto outcomes (200 → OK, 502 → Unreachable, 404 →
-// NotFound; anything else is an error).
+// NotFound; anything else is a *StatusError). Attempts answered 429 or 503
+// are retried with backoff when WithRetry is configured.
 func (t *HTTPTarget) Do(ctx context.Context, op Op) (Outcome, error) {
 	var (
 		method = http.MethodPost
 		path   string
-		body   io.Reader
+		body   []byte
 		err    error
 	)
 	switch op.Kind {
@@ -132,29 +232,50 @@ func (t *HTTPTarget) Do(ctx context.Context, op Op) (Outcome, error) {
 	if err != nil {
 		return OK, err
 	}
-	req, err := http.NewRequestWithContext(ctx, method, t.base+path, body)
+	prev := t.backoffBase
+	for attempt := 0; ; attempt++ {
+		status, err := t.attempt(ctx, method, path, body)
+		if err != nil {
+			return OK, err
+		}
+		switch status {
+		case http.StatusOK:
+			return OK, nil
+		case http.StatusBadGateway:
+			return Unreachable, nil
+		case http.StatusNotFound:
+			return NotFound, nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			if attempt < t.maxRetries && ctx.Err() == nil {
+				t.retries.Add(1)
+				prev = t.backoff(ctx, prev)
+				continue
+			}
+		}
+		return OK, &StatusError{Method: method, Path: path, Status: status}
+	}
+}
+
+// attempt issues one HTTP request and returns the response status.
+func (t *HTTPTarget) attempt(ctx context.Context, method, path string, body []byte) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, t.base+path, rd)
 	if err != nil {
-		return OK, err
+		return 0, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := t.client.Do(req)
 	if err != nil {
-		return OK, err
+		return 0, err
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusOK:
-		return OK, nil
-	case http.StatusBadGateway:
-		return Unreachable, nil
-	case http.StatusNotFound:
-		return NotFound, nil
-	default:
-		return OK, fmt.Errorf("loadgen: %s %s: unexpected status %d", method, path, resp.StatusCode)
-	}
+	return resp.StatusCode, nil
 }
 
 // SystemTarget drives an in-process tinygroups.System directly — the
