@@ -1,0 +1,206 @@
+// Command benchcluster measures cluster-mode serving: for each requested
+// cluster size K it boots K in-process shard servers plus a router on
+// loopback listeners — the same serve and cluster packages tinygroupsd
+// and tinygroupsrouter wrap — drives the workload sweep through the
+// router, and records the per-K comparison as BENCH_cluster.json.
+//
+// Usage:
+//
+//	benchcluster [-sizes 1,2] [-n N] [-ops N] [-concurrency C]
+//	             [-seed S] [-keys K] [-bulk-size B] [-out FILE]
+//
+// Every shard of every cluster runs the same (n, seed) system — the
+// generations are deterministic replicas — so the K=1 and K=2 rows
+// answer the identical op stream and differ only in how the serving
+// plane is partitioned. Epoch advances go through the router's
+// coordinated two-phase path; reads and writes scatter by ring range.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/serve"
+	"repro/tinygroups"
+	"repro/tinygroups/cluster"
+	"repro/tinygroups/loadgen"
+)
+
+func main() {
+	os.Exit(run(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// clusterRow is one cluster size's measured service level.
+type clusterRow struct {
+	Shards int            `json:"shards"`
+	Report loadgen.Report `json:"report"`
+}
+
+// document is the BENCH_cluster.json shape.
+type document struct {
+	GeneratedBy string       `json:"generated_by"`
+	Version     string       `json:"version"`
+	Population  int          `json:"population"`
+	Clusters    []clusterRow `json:"clusters"`
+}
+
+// run executes the sweep and returns the process exit code.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchcluster", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	sizes := fs.String("sizes", "1,2", "comma-separated cluster sizes to measure")
+	n := fs.Int("n", 1024, "population size of every shard's system")
+	ops := fs.Int("ops", 2000, "operations per workload")
+	concurrency := fs.Int("concurrency", 4, "closed-loop client count")
+	seed := fs.Int64("seed", 1, "system + workload seed")
+	keys := fs.Int("keys", 512, "keyspace size")
+	bulkSize := fs.Int("bulk-size", 16, "keys per bulk-read batch call")
+	out := fs.String("out", "BENCH_cluster.json", `report file ("-" = stdout)`)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if len(fs.Args()) != 0 {
+		fmt.Fprintf(stderr, "benchcluster: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
+	ks, err := parseSizes(*sizes)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcluster: %v\n", err)
+		return 2
+	}
+
+	doc := document{GeneratedBy: "cmd/benchcluster", Version: buildinfo.String(), Population: *n}
+	for _, k := range ks {
+		rep, err := measure(ctx, k, *n, *seed, *ops, *concurrency, *keys, *bulkSize, stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchcluster: K=%d: %v\n", k, err)
+			return 1
+		}
+		doc.Clusters = append(doc.Clusters, clusterRow{Shards: k, Report: rep})
+	}
+
+	w := stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchcluster: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := writeJSON(w, doc); err != nil {
+		fmt.Fprintf(stderr, "benchcluster: %v\n", err)
+		return 1
+	}
+	if *out != "-" {
+		fmt.Fprintf(stdout, "benchcluster: wrote %s (%d cluster sizes)\n", *out, len(doc.Clusters))
+	}
+	return 0
+}
+
+// measure boots one K-shard cluster with a router in front, runs the
+// sweep through the router, and tears everything down.
+func measure(ctx context.Context, k, n int, seed int64, ops, concurrency, keys, bulkSize int, stderr io.Writer) (loadgen.Report, error) {
+	var (
+		shards []*serve.Server
+		httpds []*http.Server
+		urls   []string
+	)
+	defer func() {
+		for _, hs := range httpds {
+			_ = hs.Close()
+		}
+		for _, s := range shards {
+			sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			_ = s.Shutdown(sctx)
+			cancel()
+		}
+	}()
+
+	for i := 0; i < k; i++ {
+		sys, err := tinygroups.New(n, tinygroups.WithSeed(seed))
+		if err != nil {
+			return loadgen.Report{}, err
+		}
+		s := serve.New(sys, serve.Config{
+			ShardIndex: i, ShardCount: k, Version: buildinfo.String(),
+		})
+		shards = append(shards, s)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return loadgen.Report{}, err
+		}
+		go func() { _ = s.Serve(l) }()
+		urls = append(urls, "http://"+l.Addr().String())
+	}
+
+	rt, err := cluster.NewRouter(cluster.Config{Shards: urls, Version: buildinfo.String()})
+	if err != nil {
+		return loadgen.Report{}, err
+	}
+	rl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return loadgen.Report{}, err
+	}
+	rhs := &http.Server{Handler: rt.Handler()}
+	httpds = append(httpds, rhs)
+	go func() { _ = rhs.Serve(rl) }()
+	routerURL := "http://" + rl.Addr().String()
+
+	target := loadgen.NewHTTPTarget(routerURL)
+	if err := target.WaitReady(ctx, 30*time.Second); err != nil {
+		return loadgen.Report{}, err
+	}
+	fmt.Fprintf(stderr, "benchcluster: K=%d up (%s -> %s)\n", k, routerURL, strings.Join(urls, ", "))
+
+	// The sweep: baseline reads, a write mix, churn through the router's
+	// coordinated two-phase advance, and the scatter-gathered bulk reads.
+	gens := []loadgen.Generator{
+		loadgen.Uniform(keys),
+		loadgen.ReadWriteMix(keys, 0.1),
+		loadgen.ChurnHeavy(keys, 500),
+		loadgen.BulkRead(keys, bulkSize),
+	}
+	rep, err := loadgen.RunSuite(ctx, target, gens, loadgen.Config{
+		Concurrency: concurrency, Ops: ops, Seed: seed,
+	})
+	rep.Target = fmt.Sprintf("router(K=%d)", k)
+	return rep, err
+}
+
+// parseSizes parses the -sizes list.
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f == "" {
+			continue
+		}
+		k, err := strconv.Atoi(f)
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("bad cluster size %q", f)
+		}
+		out = append(out, k)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no cluster sizes selected")
+	}
+	return out, nil
+}
+
+// writeJSON writes the document as indented JSON.
+func writeJSON(w io.Writer, doc document) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestParseSizes(t *testing.T) {
+	good := map[string][]int{
+		"1":     {1},
+		"1,2":   {1, 2},
+		" 1, 4": {1, 4},
+	}
+	for in, want := range good {
+		got, err := parseSizes(in)
+		if err != nil || !reflect.DeepEqual(got, want) {
+			t.Errorf("parseSizes(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "0", "x", "2,-1"} {
+		if _, err := parseSizes(in); err == nil {
+			t.Errorf("parseSizes(%q) did not fail", in)
+		}
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-definitely-not-a-flag"},
+		{"extra"},
+		{"-sizes", "zero"},
+	} {
+		var stderr bytes.Buffer
+		if code := run(context.Background(), args, &stderr, &stderr); code != 2 {
+			t.Fatalf("run(%v) = %d, want 2 (stderr: %s)", args, code, stderr.String())
+		}
+	}
+}
+
+// TestRunSmallSweep is the end-to-end path at smoke scale: K=1 and K=2
+// clusters on loopback, the sweep through the router, a parseable
+// document on stdout.
+func TestRunSmallSweep(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(),
+		[]string{"-sizes", "1,2", "-n", "128", "-ops", "60", "-concurrency", "2", "-keys", "64", "-out", "-"},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d (stderr: %s)", code, stderr.String())
+	}
+	var doc document
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatalf("bad document: %v\n%s", err, stdout.String())
+	}
+	if len(doc.Clusters) != 2 || doc.Clusters[0].Shards != 1 || doc.Clusters[1].Shards != 2 {
+		t.Fatalf("cluster rows = %+v", doc.Clusters)
+	}
+	for _, row := range doc.Clusters {
+		if len(row.Report.Workloads) != 4 {
+			t.Fatalf("K=%d: %d workloads, want 4", row.Shards, len(row.Report.Workloads))
+		}
+		for _, res := range row.Report.Workloads {
+			if res.Ops != 60 || res.Errors != 0 {
+				t.Fatalf("K=%d %s: %+v", row.Shards, res.Workload, res)
+			}
+		}
+	}
+}

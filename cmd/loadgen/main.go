@@ -6,7 +6,7 @@
 //
 //	loadgen [-addr URL] [-ops N] [-concurrency C] [-seed S] [-keys K]
 //	        [-workloads LIST] [-zipf-skew X] [-write-frac F]
-//	        [-advance-every N] [-storm-every N] [-mint-every N]
+//	        [-advance-every N] [-storm-every N] [-mint-every N] [-bulk-size B]
 //	        [-flood-burst B] [-victim KEY] [-near-pool P] [-eclipse-span F]
 //	        [-retries R] [-retry-base D] [-request-timeout D] [-out FILE]
 //
@@ -14,7 +14,9 @@
 // zipf-hotspot, readwrite-mix, churn-heavy, epoch-storm, mint-storm) and
 // writes BENCH_service.json. The three adversarial workloads (join-flood,
 // targeted-churn, eclipse-storm) are selected explicitly via -workloads —
-// `make bench-faults` runs exactly that sweep into BENCH_faults.json.
+// `make bench-faults` runs exactly that sweep into BENCH_faults.json — as
+// is bulk-read, the batched-lookup workload `make bench-cluster` drives
+// through a router to exercise the scatter-gather plane.
 // Op streams are pure functions of (seed, index) — see tinygroups/loadgen
 // — so two sweeps with equal seeds send byte-identical operation
 // sequences regardless of concurrency.
@@ -57,6 +59,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	advanceEvery := fs.Int("advance-every", 500, "churn-heavy: one epoch advance per this many ops")
 	stormEvery := fs.Int("storm-every", 100, "epoch-storm: one epoch advance per this many ops")
 	mintEvery := fs.Int("mint-every", 500, "mint-storm: one epoch advance per this many ops")
+	bulkSize := fs.Int("bulk-size", 16, "bulk-read: keys per batched lookup call")
 	floodBurst := fs.Int("flood-burst", 16, "join-flood: adversarial mints packed before each advance")
 	victim := fs.String("victim", "victim", "targeted-churn: key whose ring range the churn concentrates on")
 	nearPool := fs.Int("near-pool", 8, "targeted-churn/eclipse-storm: candidate keys drawn per op (concentration strength)")
@@ -80,7 +83,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	gens, err := pickWorkloads(workloadParams{
 		keys: *keys, zipfSkew: *zipfSkew, writeFrac: *writeFrac,
-		advanceEvery: *advanceEvery, stormEvery: *stormEvery, mintEvery: *mintEvery,
+		advanceEvery: *advanceEvery, stormEvery: *stormEvery, mintEvery: *mintEvery, bulkSize: *bulkSize,
 		floodBurst: *floodBurst, victim: *victim, nearPool: *nearPool, eclipseSpan: *eclipseSpan,
 	}, *workloads)
 	if err != nil {
@@ -118,7 +121,7 @@ type workloadParams struct {
 	keys                                int
 	zipfSkew, writeFrac, eclipseSpan    float64
 	advanceEvery, stormEvery, mintEvery int
-	floodBurst, nearPool                int
+	floodBurst, nearPool, bulkSize      int
 	victim                              string
 }
 
@@ -135,6 +138,7 @@ func pickWorkloads(p workloadParams, list string) ([]loadgen.Generator, error) {
 		loadgen.ChurnHeavy(p.keys, p.advanceEvery),
 		loadgen.EpochStorm(p.keys, p.stormEvery),
 		loadgen.MintStorm(p.mintEvery),
+		loadgen.BulkRead(p.keys, p.bulkSize),
 		loadgen.JoinFlood(p.keys, p.advanceEvery, p.floodBurst),
 		loadgen.TargetedChurn(p.keys, p.advanceEvery, p.nearPool, p.victim),
 		loadgen.EclipseStorm(p.keys, p.advanceEvery, p.nearPool, p.eclipseSpan),

@@ -8,6 +8,14 @@
 //	            [-seed S] [-workers W] [-epoch-interval D]
 //	            [-max-batch K] [-queue Q] [-write-timeout D]
 //	            [-mint-work W] [-mint-target D]
+//	            [-shard-index I -shard-count K] [-version]
+//
+// In cluster mode (-shard-count K > 1) the daemon serves only the keys
+// whose ring point falls in shard I's contiguous range, answering a typed
+// 421 wrong_shard for the rest; a tinygroupsrouter in front maps keys to
+// shards. Every shard of a cluster must share -n and -seed — the
+// generations are deterministic replicas, only the serving plane is
+// partitioned.
 //
 // Endpoints (all JSON):
 //
@@ -38,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/serve"
 	"repro/tinygroups"
 )
@@ -73,11 +82,22 @@ func run(ctx context.Context, args []string, stderr io.Writer) int {
 	writeTimeout := fs.Duration("write-timeout", 10*time.Second, "bound on how long an accepted write may wait on the dispatcher before answering 504 (0 = unbounded)")
 	mintWork := fs.Float64("mint-work", 1<<14, "PoW difficulty of /v1/mint in expected hash attempts per ID")
 	mintTarget := fs.Duration("mint-target", 0, "retarget mint difficulty toward this mean solve time at each epoch advance (0 = fixed difficulty)")
+	shardIndex := fs.Int("shard-index", 0, "this daemon's shard number in a cluster (0-based; requires -shard-count)")
+	shardCount := fs.Int("shard-count", 1, "cluster size; >1 serves only this shard's ring range and 421s the rest")
+	showVersion := fs.Bool("version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *showVersion {
+		lg.Printf("tinygroupsd %s", buildinfo.String())
+		return 0
+	}
 	if len(fs.Args()) != 0 {
 		lg.Printf("tinygroupsd: unexpected arguments %v", fs.Args())
+		return 2
+	}
+	if *shardCount < 1 || *shardIndex < 0 || *shardIndex >= *shardCount {
+		lg.Printf("tinygroupsd: -shard-index %d out of range for -shard-count %d", *shardIndex, *shardCount)
 		return 2
 	}
 
@@ -100,10 +120,13 @@ func run(ctx context.Context, args []string, stderr io.Writer) int {
 		QueueCap:     *queueCap,
 		EpochEvery:   *epochEvery,
 		WriteTimeout: *writeTimeout,
+		ShardIndex:   *shardIndex,
+		ShardCount:   *shardCount,
+		Version:      buildinfo.String(),
 		Logf:         logf,
 	})
-	logf("tinygroupsd: n=%d beta=%v overlay=%s seed=%d workers=%d epoch-interval=%s mint-work=%v mint-target=%s",
-		*n, *beta, *overlay, *seed, *workers, *epochEvery, *mintWork, *mintTarget)
+	logf("tinygroupsd %s: n=%d beta=%v overlay=%s seed=%d workers=%d epoch-interval=%s mint-work=%v mint-target=%s shard=%d/%d",
+		buildinfo.String(), *n, *beta, *overlay, *seed, *workers, *epochEvery, *mintWork, *mintTarget, *shardIndex, *shardCount)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe(*addr) }()

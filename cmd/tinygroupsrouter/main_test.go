@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSplitShards(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"http://a:1", []string{"http://a:1"}},
+		{"http://a:1,http://b:2,", []string{"http://a:1", "http://b:2"}},
+		{" http://a:1/ , http://b:2 ", []string{"http://a:1", "http://b:2"}},
+	}
+	for _, c := range cases {
+		if got := splitShards(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("splitShards(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-definitely-not-a-flag"}},
+		{"missing shards", nil},
+		{"positional args", []string{"-shards", "http://a:1", "extra"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			if code := run(context.Background(), c.args, &stderr); code != 2 {
+				t.Fatalf("exit code = %d, want 2 (stderr: %s)", code, stderr.String())
+			}
+		})
+	}
+}
+
+func TestRunVersion(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-version"}, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	if !strings.Contains(stderr.String(), "tinygroupsrouter ") {
+		t.Fatalf("version output = %q", stderr.String())
+	}
+}
+
+func TestRunBadListenAddr(t *testing.T) {
+	var stderr bytes.Buffer
+	code := run(context.Background(), []string{"-shards", "http://127.0.0.1:1", "-addr", "256.256.256.256:0"}, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+}
+
+// TestRunCleanShutdown drives the router's lifecycle: start, serve,
+// signal (context cancellation — the SIGTERM path), drain, exit 0. The
+// configured shard does not exist; the router is stateless, so it still
+// boots and drains cleanly.
+func TestRunCleanShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var stderr bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-shards", "http://127.0.0.1:1", "-addr", "127.0.0.1:0"}, &stderr)
+	}()
+	time.Sleep(200 * time.Millisecond)
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code = %d, want 0 (stderr: %s)", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("router did not exit within 30s of the signal")
+	}
+	if !strings.Contains(stderr.String(), "clean exit") {
+		t.Fatalf("stderr missing clean exit: %s", stderr.String())
+	}
+}

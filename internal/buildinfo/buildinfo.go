@@ -1,0 +1,50 @@
+// Package buildinfo resolves the version string the daemons report in
+// startup logs and /healthz, so harness transcripts identify exactly
+// which build produced them.
+package buildinfo
+
+import "runtime/debug"
+
+// Version is the release override, meant for
+//
+//	go build -ldflags "-X repro/internal/buildinfo.Version=v1.2.3"
+//
+// When left empty, String falls back to the VCS metadata the Go toolchain
+// stamps into the binary, and to "dev" for plain `go run` / test builds.
+var Version string
+
+// String returns the best version identity available: the -X override,
+// else the module version or VCS revision from debug.ReadBuildInfo, else
+// "dev".
+func String() string {
+	if Version != "" {
+		return Version
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "dev"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		return rev + "-dirty"
+	}
+	return rev
+}

@@ -1,0 +1,17 @@
+package buildinfo
+
+import "testing"
+
+func TestStringNonEmpty(t *testing.T) {
+	if String() == "" {
+		t.Fatal("String() must never be empty")
+	}
+}
+
+func TestStringOverride(t *testing.T) {
+	defer func(v string) { Version = v }(Version)
+	Version = "v9.9-test"
+	if got := String(); got != "v9.9-test" {
+		t.Fatalf("String() with override = %q", got)
+	}
+}

@@ -184,11 +184,49 @@ type Generation struct {
 	Graphs [2]*groups.Graph
 }
 
+// countingSource wraps the stdlib rand source, counting state advances so
+// the system can rewind its placement rng to a recorded mark: a fresh
+// source re-seeded with the root seed and advanced the same number of
+// steps is in the identical state. Both Int63 and Uint64 advance the
+// underlying generator exactly once, so the count alone captures the
+// state. This is what makes an aborted epoch build replayable — see
+// System.rewind.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (c *countingSource) Int63() int64 { c.n++; return c.src.Int63() }
+
+func (c *countingSource) Uint64() uint64 { c.n++; return c.src.Uint64() }
+
+func (c *countingSource) Seed(seed int64) { c.src.Seed(seed) }
+
+// pendingGen is a fully-built next generation awaiting CommitEpoch — the
+// off-to-the-side state of the two-phase advance. Everything in it is
+// immutable once built; committing only swaps pointers.
+type pendingGen struct {
+	stats   Stats
+	ring    *ring.Ring
+	bad     map[ring.Point]bool
+	badList []ring.Point
+	g       [2]*groups.Graph
+	// rngMark is the placement-rng advance count recorded before this
+	// build's first draw; AbortPending rewinds to it.
+	rngMark uint64
+}
+
 // System is a running dynamic deployment.
 type System struct {
 	cfg   Config
 	rng   *rand.Rand
+	rsrc  *countingSource
 	epoch int
+
+	// pending holds a generation built by BuildEpochContext and not yet
+	// committed (nil otherwise). Owned by the same single-writer discipline
+	// as the rest of the construction state.
+	pending *pendingGen
 
 	// gen is the atomically-published serving generation: written only by
 	// RunEpochContext at the swap (and once at New), read lock-free by any
@@ -236,7 +274,9 @@ func New(cfg Config) (*System, error) {
 	if cfg.N < 8 {
 		return nil, fmt.Errorf("epoch: N = %d too small", cfg.N)
 	}
-	s := &System{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	s := &System{cfg: cfg}
+	s.rsrc = &countingSource{src: rand.NewSource(cfg.Seed).(rand.Source64)}
+	s.rng = rand.New(s.rsrc)
 	s.pool = engine.NewPool(cfg.Workers)
 	s.scratch = make([]workerScratch, s.pool.Workers())
 	pl := adversary.Place(adversary.Config{N: cfg.N, Beta: cfg.Params.Beta, Strategy: cfg.Strategy}, s.rng)
@@ -539,19 +579,119 @@ const yieldStride = 64
 
 // RunEpochContext is RunEpoch with cooperative cancellation: ctx is polled
 // between per-ID construction batches and between the epoch's phases. On
-// cancellation it returns ctx.Err(), per-worker tallies are discarded, and
-// the generation swap never happens — the system keeps serving the old
-// generation and remains fully usable. (The system's top-level rng has
-// advanced past the aborted placement draw, so a retried epoch samples a
-// fresh generation rather than replaying the aborted one.)
+// cancellation it returns ctx.Err(), per-worker tallies are discarded, the
+// generation swap never happens, and the placement rng rewinds to its
+// pre-build state — the system keeps serving the old generation, remains
+// fully usable, and a retried epoch replays the identical generation the
+// aborted build was constructing. That replay property is what keeps the
+// shards of a cluster in lockstep through failed coordinated advances.
 //
 // A context that cannot be cancelled (Done() == nil, e.g.
 // context.Background()) takes the unchunked fast path: one pool broadcast
 // per phase, byte-identical to RunEpoch.
+//
+// A generation left pending by BuildEpochContext is committed first — the
+// sequence (BuildEpochContext; RunEpochContext) is not meaningful and the
+// pending build must not be silently discarded.
 func (s *System) RunEpochContext(ctx context.Context) (Stats, error) {
+	if s.pending != nil {
+		st, _ := s.CommitEpoch()
+		return st, nil
+	}
+	if _, err := s.BuildEpochContext(ctx); err != nil {
+		return Stats{}, err
+	}
+	st, _ := s.CommitEpoch()
+	return st, nil
+}
+
+// BuildEpochContext is phase one of the two-phase epoch advance: it runs
+// the entire §III construction of the next generation off to the side —
+// placement, per-ID build, spam, departures, classification — and parks
+// the result as the system's pending generation WITHOUT swapping. Readers
+// of Generation() keep seeing the current epoch until CommitEpoch flips
+// the pointer. Calling it again while a build is pending is idempotent:
+// the pending build's Stats are returned and nothing is recomputed.
+//
+// On cancellation the build aborts exactly like RunEpochContext — tallies
+// discarded, rng rewound, nothing pending — so a retry replays the
+// identical generation.
+func (s *System) BuildEpochContext(ctx context.Context) (Stats, error) {
+	if s.pending != nil {
+		return s.pending.stats, nil
+	}
 	if err := ctx.Err(); err != nil {
 		return Stats{}, err
 	}
+	p, err := s.buildGeneration(ctx)
+	if err != nil {
+		return Stats{}, err
+	}
+	s.pending = p
+	return p.stats, nil
+}
+
+// CommitEpoch is phase two of the two-phase advance: it swaps the pending
+// generation in as the serving one — an O(1) pointer flip, exactly the
+// swap RunEpoch performs — and reports its Stats. ok is false (and nothing
+// changes) when no build is pending.
+func (s *System) CommitEpoch() (st Stats, ok bool) {
+	p := s.pending
+	if p == nil {
+		return Stats{}, false
+	}
+	s.pending = nil
+	// The writer-private construction state updates in place, then the
+	// immutable serving view is published in one atomic store. Readers
+	// pinned to the old Generation keep a consistent view — nothing it
+	// references is ever touched again.
+	s.ids = p.ring
+	s.bad = p.bad
+	s.badList = p.badList
+	s.g = p.g
+	s.indexGeneration()
+	s.refreshBlue()
+	s.epoch++
+	s.gen.Store(&Generation{Epoch: s.epoch, Ring: s.ids, Graphs: s.g})
+	return p.stats, true
+}
+
+// AbortPending discards a pending build and rewinds the placement rng to
+// its pre-build state, so the next build replays the identical generation
+// the discarded one held. It reports whether there was a build to discard.
+// This is the shard-local half of the cluster's coordinated abort: every
+// shard that aborts is byte-identical to one that never built.
+func (s *System) AbortPending() bool {
+	p := s.pending
+	if p == nil {
+		return false
+	}
+	s.pending = nil
+	s.rewind(p.rngMark)
+	return true
+}
+
+// HasPending reports whether a built-but-uncommitted generation is parked.
+func (s *System) HasPending() bool { return s.pending != nil }
+
+// rewind restores the placement rng to the state it had after exactly n
+// source advances from the root seed: re-seed, fast-forward, republish.
+// O(n) in total draws since New — abort paths only.
+func (s *System) rewind(n uint64) {
+	fresh := rand.NewSource(s.cfg.Seed).(rand.Source64)
+	for i := uint64(0); i < n; i++ {
+		fresh.Uint64()
+	}
+	s.rsrc.src = fresh
+	s.rsrc.n = n
+	s.rng = rand.New(s.rsrc)
+}
+
+// buildGeneration runs the whole construction of the next generation and
+// returns it as an uncommitted pendingGen. See RunEpochContext for the
+// cancellation contract.
+func (s *System) buildGeneration(ctx context.Context) (*pendingGen, error) {
+	rngMark := s.rsrc.n
 	st := Stats{Epoch: s.epoch + 1}
 	epochSeed := engine.TrialSeed(s.cfg.Seed, "epoch", st.Epoch)
 	// New generation of IDs: good participants re-mint; the adversary
@@ -608,13 +748,13 @@ func (s *System) RunEpochContext(ctx context.Context) (Stats, error) {
 	} else {
 		for lo := 0; lo < n; lo += ctxBatch {
 			if err := ctx.Err(); err != nil {
-				return s.abortEpoch(err)
+				return s.abortBuild(rngMark, err)
 			}
 			hi := min(lo+ctxBatch, n)
 			s.pool.ForEach(hi-lo, func(worker, i int) { build(worker, lo+i) })
 		}
 		if err := ctx.Err(); err != nil {
-			return s.abortEpoch(err)
+			return s.abortBuild(rngMark, err)
 		}
 	}
 
@@ -646,7 +786,7 @@ func (s *System) RunEpochContext(ctx context.Context) (Stats, error) {
 	}
 
 	if err := ctx.Err(); err != nil {
-		return s.abortEpoch(err)
+		return s.abortBuild(rngMark, err)
 	}
 
 	// Merge per-worker tallies (integer sums: order-free).
@@ -723,7 +863,7 @@ func (s *System) RunEpochContext(ctx context.Context) (Stats, error) {
 	// Post-construction robustness of the new generation. Last abort
 	// point: past here the generations swap and the epoch must commit.
 	if err := ctx.Err(); err != nil {
-		return s.abortEpoch(err)
+		return s.abortBuild(rngMark, err)
 	}
 	probe := newG[0].MeasureRobustness(512, s.rng)
 	st.SearchFailRate = probe.SearchFailRate
@@ -732,30 +872,30 @@ func (s *System) RunEpochContext(ctx context.Context) (Stats, error) {
 		st.SearchFailRate = (st.SearchFailRate + probe2.SearchFailRate) / 2
 	}
 
-	// Swap generations: the writer-private construction state updates in
-	// place, then the immutable serving view is published in one atomic
-	// store. Readers pinned to the old Generation keep a consistent view —
-	// nothing it references (ring, graphs, member arenas) is ever touched
-	// again; the next epoch allocates fresh ones.
-	s.ids = newRing
-	s.bad = newBad
-	s.badList = pl.Bad
-	s.g = newG
-	s.indexGeneration()
-	s.refreshBlue()
-	s.epoch++
-	s.gen.Store(&Generation{Epoch: s.epoch, Ring: s.ids, Graphs: s.g})
-	return st, nil
+	// The generation is complete; park it for CommitEpoch. Nothing the
+	// serving view references has been touched — the swap is the commit.
+	return &pendingGen{
+		stats:   st,
+		ring:    newRing,
+		bad:     newBad,
+		badList: pl.Bad,
+		g:       newG,
+		rngMark: rngMark,
+	}, nil
 }
 
-// abortEpoch discards the partial epoch: per-worker tallies are zeroed so
+// abortBuild discards a partial build: per-worker tallies are zeroed so
 // the next construction starts clean (the arenas are re-sized per epoch
-// anyway, and nothing was swapped).
-func (s *System) abortEpoch(err error) (Stats, error) {
+// anyway, and nothing was swapped), and the placement rng rewinds to its
+// pre-build mark so a retried build replays the identical generation —
+// the property the cluster's coordinated two-phase advance leans on to
+// keep shards byte-identical after a failed round.
+func (s *System) abortBuild(mark uint64, err error) (*pendingGen, error) {
 	for i := range s.scratch {
 		s.scratch[i].t = tally{}
 	}
-	return Stats{}, err
+	s.rewind(mark)
+	return nil, err
 }
 
 // sizeArenas (re)shapes the rank-indexed construction arenas for a

@@ -203,6 +203,7 @@ func init() {
 		{"e18", "Quarantine of misbehaving members (footnote 2 extension)", E18Quarantine},
 		{"e19", "Adaptive PoW: work only when attacked (conclusion / [22])", E19AdaptivePoW},
 		{"e20", "System size Θ(n) oscillation (§III remark)", E20SizeDrift},
+		{"e21", "Attack suite vs matched adversary placement (§IV pressure)", E21AttackSuite},
 	} {
 		MustRegister(e)
 	}

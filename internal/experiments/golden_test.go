@@ -9,18 +9,21 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite golden experiment tables")
 
-// TestGoldenTables pins the seed-1 quick-mode tables of e1–e7 byte-for-byte
-// against checked-in goldens. This is the guard rail under the hot-path
-// and API work: hashing, ring lookups, group construction, the sim runtime
-// and the streaming-emission layer may change as much as they like, but
-// they may not change a single output byte. e4 and e5 pin the *dynamic*
-// (epoch-chained) tables, which have shifted silently under past
-// refactors; e6 and e7 pin the identity layer (PoW minting and the
-// string lottery) the adversarial workloads press on. Regenerate
-// deliberately with `go test ./internal/experiments -run Golden -update`
+// TestGoldenTables pins the seed-1 quick-mode tables of e1–e9 and e21
+// byte-for-byte against checked-in goldens. This is the guard rail under
+// the hot-path and API work: hashing, ring lookups, group construction,
+// the sim runtime and the streaming-emission layer may change as much as
+// they like, but they may not change a single output byte. e4 and e5 pin
+// the *dynamic* (epoch-chained) tables, which have shifted silently under
+// past refactors; e6 and e7 pin the identity layer (PoW minting and the
+// string lottery) the adversarial workloads press on; e8 pins the
+// group-size knee and e9 the input-graph properties the construction
+// rests on; e21 pins the attack-suite outcome counts end to end through
+// the serving state machine. Regenerate deliberately with
+// `go test ./internal/experiments -run Golden -update`
 // and review the diff like any other result change.
 func TestGoldenTables(t *testing.T) {
-	for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7"} {
+	for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e21"} {
 		t.Run(id, func(t *testing.T) {
 			e, ok := Lookup(id)
 			if !ok {

@@ -57,12 +57,21 @@ type computeResponse struct {
 	Messages int64  `json:"messages"`
 }
 
-// healthResponse is the /healthz body.
+// healthResponse is the /healthz body. Version identifies the answering
+// binary; Shard/Shards scope it within a cluster (0/1 standalone);
+// Fingerprint digests the serving generation (System.Fingerprint), the
+// equality the cluster determinism gate compares across shards;
+// PendingEpoch reports a parked two-phase build awaiting flip.
 type healthResponse struct {
-	Status  string  `json:"status"`
-	Epoch   int64   `json:"epoch"`
-	N       int     `json:"n"`
-	UptimeS float64 `json:"uptime_s"`
+	Status       string  `json:"status"`
+	Version      string  `json:"version"`
+	Epoch        int64   `json:"epoch"`
+	N            int     `json:"n"`
+	Shard        int     `json:"shard"`
+	Shards       int     `json:"shards"`
+	Fingerprint  string  `json:"fingerprint"`
+	PendingEpoch bool    `json:"pending_epoch"`
+	UptimeS      float64 `json:"uptime_s"`
 }
 
 // routes builds the server's mux. Every endpoint speaks JSON; errors use
@@ -75,7 +84,12 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("/v1/compute", s.handleCompute)
 	mux.HandleFunc("/v1/mint", s.handleMint)
 	mux.HandleFunc("/v1/verify", s.handleVerify)
+	mux.HandleFunc("/v1/lookup/batch", s.handleLookupBatch)
+	mux.HandleFunc("/v1/put/batch", s.handlePutBatch)
 	mux.HandleFunc("/v1/epoch/advance", s.handleAdvance)
+	mux.HandleFunc("/v1/epoch/build", s.handleEpochBuild)
+	mux.HandleFunc("/v1/epoch/flip", s.handleEpochFlip)
+	mux.HandleFunc("/v1/epoch/abort", s.handleEpochAbort)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
@@ -101,6 +115,10 @@ func statusOf(err error) (status int, code string) {
 		return http.StatusTooManyRequests, "queue_full"
 	case errors.Is(err, errWriteTimeout):
 		return http.StatusGatewayTimeout, "write_timeout"
+	case errors.Is(err, errWrongShard):
+		return http.StatusMisdirectedRequest, "wrong_shard"
+	case errors.Is(err, tinygroups.ErrNoPending):
+		return http.StatusConflict, "no_pending"
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, "canceled"
 	default:
@@ -172,6 +190,11 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, `missing "key"`)
 		return
 	}
+	if !s.owns(tinygroups.KeyPoint(req.Key)) {
+		s.m.wrongShard.Add(1)
+		s.writeError(w, errWrongShard)
+		return
+	}
 	// Reads bypass the write queue entirely: Lookup is lock-free against
 	// the System's epoch snapshot, so it runs right here on the handler
 	// goroutine — no dispatcher round-trip, no queue slot, no 429.
@@ -200,6 +223,11 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, `missing "key"`)
 		return
 	}
+	if !s.owns(tinygroups.KeyPoint(req.Key)) {
+		s.m.wrongShard.Add(1)
+		s.writeError(w, errWrongShard)
+		return
+	}
 	br, err := s.doPut(req.Key, req.Value)
 	if err != nil {
 		s.writeError(w, err)
@@ -223,6 +251,11 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	key := r.URL.Query().Get("key")
 	if key == "" {
 		s.badRequest(w, `missing "key" query parameter`)
+		return
+	}
+	if !s.owns(tinygroups.KeyPoint(key)) {
+		s.m.wrongShard.Add(1)
+		s.writeError(w, errWrongShard)
 		return
 	}
 	// Get is a lock-free read like Lookup: no dispatcher round-trip.
@@ -292,11 +325,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.m.health.Add(1)
+	shards := s.cfg.ShardCount
+	if shards < 1 {
+		shards = 1
+	}
 	h := healthResponse{
-		Status:  "ok",
-		Epoch:   s.epoch.Load(),
-		N:       s.sys.N(),
-		UptimeS: time.Since(s.start).Seconds(),
+		Status:       "ok",
+		Version:      s.version(),
+		Epoch:        s.epoch.Load(),
+		N:            s.sys.N(),
+		Shard:        s.cfg.ShardIndex,
+		Shards:       shards,
+		Fingerprint:  s.sys.Fingerprint(),
+		PendingEpoch: s.pending.Load(),
+		UptimeS:      time.Since(s.start).Seconds(),
 	}
 	if s.draining() {
 		h.Status = "draining"

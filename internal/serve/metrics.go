@@ -17,6 +17,14 @@ type counters struct {
 	writeTimeouts                                   atomic.Int64
 	epochsAdvanced                                  atomic.Int64
 
+	// Cluster surface: batch endpoint calls (and the keys they carried),
+	// the two-phase epoch endpoints, and keyed requests rejected with 421
+	// because this shard does not own the key's ring range.
+	lookupBatches, lookupBatchedOps      atomic.Int64
+	putBatchCalls                        atomic.Int64
+	epochBuilds, epochFlips, epochAborts atomic.Int64
+	wrongShard                           atomic.Int64
+
 	putBatches, putBatchedOps atomic.Int64
 	// mintedIDs / verifiedClaims total the items behind the mint and verify
 	// calls (one call can carry a batch).
@@ -29,14 +37,19 @@ type MetricsSnapshot struct {
 	UptimeS float64 `json:"uptime_s"`
 
 	Requests struct {
-		Lookup  int64 `json:"lookup"`
-		Put     int64 `json:"put"`
-		Get     int64 `json:"get"`
-		Compute int64 `json:"compute"`
-		Mint    int64 `json:"mint"`
-		Verify  int64 `json:"verify"`
-		Advance int64 `json:"advance"`
-		Health  int64 `json:"health"`
+		Lookup      int64 `json:"lookup"`
+		Put         int64 `json:"put"`
+		Get         int64 `json:"get"`
+		Compute     int64 `json:"compute"`
+		Mint        int64 `json:"mint"`
+		Verify      int64 `json:"verify"`
+		Advance     int64 `json:"advance"`
+		Health      int64 `json:"health"`
+		LookupBatch int64 `json:"lookup_batch"`
+		PutBatch    int64 `json:"put_batch"`
+		EpochBuild  int64 `json:"epoch_build"`
+		EpochFlip   int64 `json:"epoch_flip"`
+		EpochAbort  int64 `json:"epoch_abort"`
 	} `json:"requests"`
 
 	// Mint reports the identity layer: IDs minted and claims verified
@@ -66,9 +79,13 @@ type MetricsSnapshot struct {
 	// QueueRejects counts write requests shed with 429 by the bounded
 	// write queue; reads are never shed. WriteTimeouts counts accepted
 	// writes whose handlers gave up with 504 before the dispatcher
-	// confirmed them (the queued work still ran).
+	// confirmed them (the queued work still ran). WrongShard counts keyed
+	// requests rejected with 421 because this shard does not own the
+	// key's ring range — nonzero only in cluster mode, and on a healthy
+	// cluster it stays zero (the router never misroutes).
 	QueueRejects   int64 `json:"queue_rejects"`
 	WriteTimeouts  int64 `json:"write_timeouts"`
+	WrongShard     int64 `json:"wrong_shard"`
 	EpochsAdvanced int64 `json:"epochs_advanced"`
 }
 
@@ -83,6 +100,11 @@ func (c *counters) snapshot() MetricsSnapshot {
 	s.Requests.Verify = c.verifies.Load()
 	s.Requests.Advance = c.advances.Load()
 	s.Requests.Health = c.health.Load()
+	s.Requests.LookupBatch = c.lookupBatches.Load()
+	s.Requests.PutBatch = c.putBatchCalls.Load()
+	s.Requests.EpochBuild = c.epochBuilds.Load()
+	s.Requests.EpochFlip = c.epochFlips.Load()
+	s.Requests.EpochAbort = c.epochAborts.Load()
 	s.Mint.MintedIDs = c.mintedIDs.Load()
 	s.Mint.VerifiedClaims = c.verifiedClaims.Load()
 	s.Errors.Client = c.errors4xx.Load()
@@ -94,6 +116,7 @@ func (c *counters) snapshot() MetricsSnapshot {
 	}
 	s.QueueRejects = c.queueRejects.Load()
 	s.WriteTimeouts = c.writeTimeouts.Load()
+	s.WrongShard = c.wrongShard.Load()
 	s.EpochsAdvanced = c.epochsAdvanced.Load()
 	return s
 }

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/tinygroups"
+	"repro/tinygroups/cluster"
 )
 
 // Config tunes a Server. The zero value is usable: defaults are applied by
@@ -63,6 +64,19 @@ type Config struct {
 	// epoch advance, shutdown). Requests are not logged.
 	Logf func(format string, args ...any)
 
+	// ShardIndex/ShardCount scope this server to one contiguous ring range
+	// of a cluster: with ShardCount > 1 the keyed endpoints answer only for
+	// keys whose ring point this shard owns (cluster.ShardOf) and reject
+	// the rest with a typed 421 ("wrong_shard") — the guard that catches a
+	// misrouted request before it silently serves from the wrong store.
+	// ShardCount <= 1 is the standalone daemon: every key is owned.
+	ShardIndex int
+	ShardCount int
+	// Version, when non-empty, is the build identity reported by the
+	// startup log line and the /healthz payload, so multi-process harness
+	// logs identify which binary answered.
+	Version string
+
 	// hookBeforeBatch, when non-nil, runs on the dispatcher goroutine
 	// immediately before each put-batch flush. Tests use it to hold a
 	// batch open while they stage concurrent requests; it must be set
@@ -76,6 +90,7 @@ var (
 	errQueueFull    = errors.New("serve: request queue full")
 	errDraining     = errors.New("serve: server draining")
 	errWriteTimeout = errors.New("serve: write not confirmed within the write timeout")
+	errWrongShard   = errors.New("serve: key not owned by this shard")
 )
 
 // Server serves a tinygroups.System over HTTP/JSON. Create one with New,
@@ -108,8 +123,12 @@ type Server struct {
 	// System. While the System is live they could equally read
 	// sys.Epoch() — it is lock-free.
 	epoch atomic.Int64
-	start time.Time
-	m     counters
+	// pending mirrors whether a two-phase build is parked awaiting flip.
+	// It is the serve-layer shadow of System.HasPendingEpoch, kept here so
+	// /healthz never blocks on the writer mutex while a build is running.
+	pending atomic.Bool
+	start   time.Time
+	m       counters
 }
 
 // New wraps sys in a Server. The Server takes ownership of sys: Shutdown
@@ -164,8 +183,27 @@ func (s *Server) ListenAndServe(addr string) error {
 	if err != nil {
 		return err
 	}
-	s.logf("tinygroupsd: listening on %s", l.Addr())
+	if s.cfg.ShardCount > 1 {
+		s.logf("tinygroupsd: %s listening on %s (shard %d/%d)",
+			s.version(), l.Addr(), s.cfg.ShardIndex, s.cfg.ShardCount)
+	} else {
+		s.logf("tinygroupsd: %s listening on %s", s.version(), l.Addr())
+	}
 	return s.Serve(l)
+}
+
+// version is the build identity for logs and /healthz, "dev" by default.
+func (s *Server) version() string {
+	if s.cfg.Version != "" {
+		return s.cfg.Version
+	}
+	return "dev"
+}
+
+// owns reports whether this server's shard owns ring point p. Standalone
+// servers (ShardCount <= 1) own every point.
+func (s *Server) owns(p tinygroups.Point) bool {
+	return s.cfg.ShardCount <= 1 || cluster.ShardOf(p, s.cfg.ShardCount) == s.cfg.ShardIndex
 }
 
 // Shutdown drains and stops the server: the epoch ticker is cancelled (an
@@ -299,6 +337,8 @@ func (s *Server) advanceEpoch(ctx context.Context) (tinygroups.Stats, error) {
 	if eerr := s.doExec(func() {
 		st, err = s.sys.AdvanceEpoch(ctx)
 		if err == nil {
+			// A one-shot advance commits any parked two-phase build.
+			s.pending.Store(false)
 			s.epoch.Store(int64(st.Epoch))
 			s.m.epochsAdvanced.Add(1)
 		}

@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/tinygroups"
+)
+
+// TestShardOfPartitions pins that ShardOf is a total partition into K
+// contiguous ranges and that RangeOf inverts it exactly at the borders.
+func TestShardOfPartitions(t *testing.T) {
+	max := tinygroups.Point(^uint64(0))
+	for _, k := range []int{1, 2, 3, 4, 7, 16} {
+		if got := ShardOf(0, k); got != 0 {
+			t.Fatalf("ShardOf(0, %d) = %d", k, got)
+		}
+		if got := ShardOf(max, k); got != k-1 {
+			t.Fatalf("ShardOf(max, %d) = %d; want %d", k, got, k-1)
+		}
+		for s := 0; s < k; s++ {
+			lo, hi := RangeOf(s, k)
+			if ShardOf(lo, k) != s || ShardOf(hi, k) != s {
+				t.Fatalf("k=%d shard %d: range [%d,%d] not owned by itself", k, s, lo, hi)
+			}
+			if lo > 0 && ShardOf(lo-1, k) != s-1 {
+				t.Fatalf("k=%d shard %d: point below lo owned by %d", k, s, ShardOf(lo-1, k))
+			}
+			if hi < max && ShardOf(hi+1, k) != s+1 {
+				t.Fatalf("k=%d shard %d: point above hi owned by %d", k, s, ShardOf(hi+1, k))
+			}
+		}
+		// Ranges tile the whole ring with no gaps.
+		var covered uint64
+		for s := 0; s < k; s++ {
+			lo, hi := RangeOf(s, k)
+			covered += uint64(hi) - uint64(lo) + 1
+		}
+		if covered != 0 { // 2^64 wraps to 0
+			t.Fatalf("k=%d: ranges cover %d points, want 2^64", k, covered)
+		}
+	}
+}
+
+// TestShardOfBalance pins that the equal partition really is equal: range
+// sizes differ by at most one point.
+func TestShardOfBalance(t *testing.T) {
+	for _, k := range []int{2, 3, 5, 8} {
+		var minSz, maxSz uint64
+		for s := 0; s < k; s++ {
+			lo, hi := RangeOf(s, k)
+			sz := uint64(hi) - uint64(lo) + 1
+			if s == 0 || sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+		}
+		if maxSz-minSz > 1 {
+			t.Fatalf("k=%d: range sizes differ by %d", k, maxSz-minSz)
+		}
+	}
+}
+
+// TestOwnerOfMatchesKeyPoint pins OwnerOf against the key-hash convention.
+func TestOwnerOfMatchesKeyPoint(t *testing.T) {
+	for _, key := range []string{"", "a", "k00000042", "the-quick-brown-fox"} {
+		for _, k := range []int{1, 2, 4} {
+			if got, want := OwnerOf(key, k), ShardOf(tinygroups.KeyPoint(key), k); got != want {
+				t.Fatalf("OwnerOf(%q, %d) = %d, want %d", key, k, got, want)
+			}
+		}
+	}
+}

@@ -20,4 +20,7 @@ var (
 	// without a puzzle solution — astronomically unlikely at any configured
 	// difficulty, so in practice it signals a miscalibrated work factor.
 	ErrMintFailed = errors.New("tinygroups: mint attempt budget exhausted")
+	// ErrNoPending is returned by CommitEpoch when no generation is parked
+	// awaiting commit — BuildEpoch was never called, or the build aborted.
+	ErrNoPending = errors.New("tinygroups: no pending epoch build")
 )

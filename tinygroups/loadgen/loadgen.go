@@ -45,6 +45,7 @@ const (
 	KindGet
 	KindAdvance
 	KindMint
+	KindBulkLookup
 )
 
 // String returns the op-kind name.
@@ -60,16 +61,22 @@ func (k Kind) String() string {
 		return "advance"
 	case KindMint:
 		return "mint"
+	case KindBulkLookup:
+		return "bulk-lookup"
 	}
 	return "unknown"
 }
 
 // Op is one generated operation. Advance ops carry no key; put ops carry a
-// generated value.
+// generated value; bulk-lookup ops carry Keys instead of Key.
 type Op struct {
 	Kind  Kind
 	Key   string
 	Value []byte
+	// Keys is the key set of a KindBulkLookup op — one amortized
+	// /v1/lookup/batch call (scatter-gathered across shards by a cluster
+	// router).
+	Keys []string
 }
 
 // Generator deterministically produces the i-th operation of a workload.
@@ -296,6 +303,39 @@ func (g *mintstorm) Op(seed int64, i int) Op {
 	}
 	rng := stream(g.scope, seed, i)
 	return Op{Kind: KindMint, Key: fmt.Sprintf("m%016x", rng.Uint64())}
+}
+
+// bulkread is the BulkRead generator.
+type bulkread struct {
+	keys  int
+	batch int
+	scope string
+}
+
+// BulkRead returns a workload of batched lookups: every op carries batch
+// uniformly-drawn keys and resolves as one /v1/lookup/batch call. It is
+// the probe for the amortized read path — and, through a cluster router,
+// for the scatter-gather plane, since a batch of uniform keys splits
+// across every shard. All keys of op i derive from the op's one private
+// stream, keeping the pure-(seed,i) determinism contract.
+func BulkRead(keys, batch int) Generator {
+	if batch < 1 {
+		batch = 16
+	}
+	return &bulkread{keys: clampKeys(keys), batch: batch, scope: "loadgen/bulkread"}
+}
+
+// Name implements Generator.
+func (g *bulkread) Name() string { return "bulk-read" }
+
+// Op implements Generator.
+func (g *bulkread) Op(seed int64, i int) Op {
+	rng := stream(g.scope, seed, i)
+	ks := make([]string, g.batch)
+	for j := range ks {
+		ks[j] = keyOf(rng.Intn(g.keys))
+	}
+	return Op{Kind: KindBulkLookup, Keys: ks}
 }
 
 // Suite returns the standard 6-workload sweep — uniform, zipf-hotspot

@@ -16,7 +16,7 @@ import (
 // an op gives the identical value, and changing the seed changes the
 // stream.
 func TestGeneratorDeterminism(t *testing.T) {
-	for _, g := range Suite(256, 50) {
+	for _, g := range append(Suite(256, 50), BulkRead(256, 16)) {
 		t.Run(g.Name(), func(t *testing.T) {
 			var differs bool
 			for i := 0; i < 200; i++ {
@@ -139,6 +139,65 @@ func TestGeneratorShapes(t *testing.T) {
 			t.Fatalf("mint-storm drew %d distinct miners over %d mints", len(miners), want)
 		}
 	})
+	t.Run("bulk-read", func(t *testing.T) {
+		const batch = 16
+		g := BulkRead(keys, batch)
+		seen := map[string]bool{}
+		for i := 0; i < ops/batch; i++ {
+			op := g.Op(1, i)
+			if op.Kind != KindBulkLookup || op.Key != "" {
+				t.Fatalf("op %d: kind %v key %q, want a keyless bulk lookup", i, op.Kind, op.Key)
+			}
+			if len(op.Keys) != batch {
+				t.Fatalf("op %d: %d keys, want %d", i, len(op.Keys), batch)
+			}
+			for _, k := range op.Keys {
+				seen[k] = true
+			}
+		}
+		if len(seen) < keys/2 {
+			t.Fatalf("bulk-read hit only %d/%d keys", len(seen), keys)
+		}
+	})
+}
+
+// TestBulkReadTargets drives the bulk workload against both target
+// implementations — the in-process System and the HTTP daemon — and
+// checks the batch endpoint resolves every call.
+func TestBulkReadTargets(t *testing.T) {
+	sys, err := tinygroups.New(128, tinygroups.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New(sys, serve.Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	}()
+
+	for _, tc := range []struct {
+		name   string
+		target Target
+	}{
+		{"system", NewSystemTarget(sys)},
+		{"http", NewHTTPTarget(ts.URL)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Run(context.Background(), tc.target, BulkRead(64, 8),
+				Config{Concurrency: 4, Ops: 100, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops != 100 || res.Errors != 0 || res.OK != 100 {
+				t.Fatalf("bulk-read via %s: %+v", tc.name, res)
+			}
+		})
+	}
 }
 
 // TestRunSystemTarget drives the closed loop against an in-process System

@@ -226,6 +226,11 @@ func (t *HTTPTarget) Do(ctx context.Context, op Op) (Outcome, error) {
 	case KindMint:
 		path = "/v1/mint"
 		body, err = jsonBody(map[string]any{"miner": op.Key, "count": 1})
+	case KindBulkLookup:
+		// One amortized batch call; per-key outcomes ride inside the 200
+		// body, so the op-level outcome is the call's own.
+		path = "/v1/lookup/batch"
+		body, err = jsonBody(map[string]any{"keys": op.Keys})
 	default:
 		return OK, fmt.Errorf("loadgen: unknown op kind %d", op.Kind)
 	}
@@ -306,6 +311,10 @@ func (t *SystemTarget) Do(ctx context.Context, op Op) (Outcome, error) {
 		_, err = t.sys.AdvanceEpoch(ctx)
 	case KindMint:
 		_, err = t.sys.Mint(ctx, op.Key)
+	case KindBulkLookup:
+		// Mirrors the HTTP batch endpoint: per-key routing failures ride in
+		// the per-item results, so only a call-level failure is an error.
+		_, err = t.sys.LookupBatch(ctx, op.Keys)
 	default:
 		return OK, fmt.Errorf("loadgen: unknown op kind %d", op.Kind)
 	}

@@ -8,7 +8,7 @@ import (
 )
 
 // ExampleRegistry_Run registers a custom scenario and streams its output
-// through a handler — the same interface the built-in e1..e20 use.
+// through a handler — the same interface the built-in e1..e21 use.
 func ExampleRegistry_Run() {
 	reg := scenario.NewRegistry()
 	err := reg.Register(scenario.Scenario{
@@ -53,7 +53,7 @@ func ExampleDefault() {
 	_, ok := reg.Lookup("e4")
 	fmt.Println("e4 registered:", ok)
 	// Output:
-	// scenarios: 20
+	// scenarios: 21
 	// first: e1
 	// e4 registered: true
 }

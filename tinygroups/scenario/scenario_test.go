@@ -10,10 +10,10 @@ import (
 func TestDefaultRegistryHasAllExperiments(t *testing.T) {
 	reg := Default()
 	list := reg.List()
-	if len(list) != 20 {
-		t.Fatalf("default registry has %d scenarios, want 20", len(list))
+	if len(list) != 21 {
+		t.Fatalf("default registry has %d scenarios, want 21", len(list))
 	}
-	if list[0].ID != "e1" || list[19].ID != "e20" {
+	if list[0].ID != "e1" || list[20].ID != "e21" {
 		t.Errorf("registration order broken: first %s, last %s", list[0].ID, list[19].ID)
 	}
 	for _, s := range list {

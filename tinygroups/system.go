@@ -372,9 +372,15 @@ func (s *System) AdvanceEpoch(ctx context.Context) (Stats, error) {
 	if err != nil {
 		return Stats{}, fmt.Errorf("tinygroups: epoch %d aborted: %w", s.dyn.Epoch()+1, err)
 	}
-	// Retarget the mint difficulty from the closing epoch's observed solve
-	// times before the string rotates; the counters reset either way so a
-	// later enablement never sees stale history.
+	return s.publishLocked(est), nil
+}
+
+// publishLocked flips the read snapshot to the generation the epoch layer
+// just committed and fires the epoch observers. It owns the mint-difficulty
+// retarget: the closing epoch's observed solve times feed the retargeter
+// before the epoch string rotates, and the telemetry counters reset either
+// way so a later enablement never sees stale history. Callers hold wmu.
+func (s *System) publishLocked(est epoch.Stats) Stats {
 	work := s.snap.Load().mint.work
 	solves, nanos := s.mintSolves.Swap(0), s.mintNanos.Swap(0)
 	s.mintAttempts.Store(0)
@@ -391,7 +397,7 @@ func (s *System) AdvanceEpoch(ctx context.Context) (Stats, error) {
 		obs.ObserveMint(MintEvent{Epoch: st.Epoch, Minted: st.N, Bad: s.dyn.BadCount()})
 		obs.ObserveEpoch(EpochEvent{Stats: st})
 	}
-	return st, nil
+	return st
 }
 
 // Robustness measures Theorem 3's two bullets on the current graphs over
