@@ -35,13 +35,33 @@ CLUSTER_ROUTER_ADDR = 127.0.0.1:$(CLUSTER_PORT)
 CLUSTER_SHARD0_ADDR = 127.0.0.1:$(shell expr $(CLUSTER_PORT) + 1)
 CLUSTER_SHARD1_ADDR = 127.0.0.1:$(shell expr $(CLUSTER_PORT) + 2)
 
-.PHONY: build test bench bench-json bench-service bench-faults bench-pow bench-cluster lint doclint api apicheck smoke-examples serve-smoke chaos-smoke cluster-smoke ci
+# snapshot-smoke's own port, clear of the other smokes.
+SNAPSHOT_PORT ?= 8482
+SNAPSHOT_ADDR = 127.0.0.1:$(SNAPSHOT_PORT)
+
+.PHONY: build test cover bench bench-json bench-service bench-faults bench-pow bench-cluster bench-snapshot lint doclint api apicheck smoke-examples serve-smoke chaos-smoke cluster-smoke snapshot-smoke fuzz-short ci
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test -race ./...
+
+# cover reruns the test suite with coverage accounting and prints the
+# per-package and total percentages. CI uploads coverage.out as an
+# artifact and surfaces the total in the job summary; there is no
+# hard threshold — the number is informational, the tests are the gate.
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
+# fuzz-short runs each snapshot/op-log decoder fuzz target briefly (the
+# committed seed corpora plus a few seconds of mutation) — the CI-sized
+# slice of the "decoders never panic" guarantee. Longer local runs:
+# go test -fuzz FuzzDecodeSnapshot -fuzztime 5m ./internal/snapshot
+fuzz-short:
+	$(GO) test -fuzz FuzzDecodeSnapshot -fuzztime 5s -run '^$$' ./internal/snapshot
+	$(GO) test -fuzz FuzzDecodeLog -fuzztime 5s -run '^$$' ./internal/snapshot
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
@@ -191,6 +211,25 @@ bench-cluster:
 	$(GO) run ./cmd/benchcluster -sizes 1,2 -n 1024 -ops 2000 -concurrency 4 -keys 512 -out BENCH_cluster.json
 	@echo "wrote BENCH_cluster.json"
 
+# snapshot-smoke gates durability end to end with the real binaries: boot
+# tinygroupsd with a data dir, drive epochs and puts over HTTP, SIGKILL it,
+# restart on the same dir, and require recovered=true with the pre-kill
+# epoch fingerprint and every acknowledged key served back from disk.
+snapshot-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/tinygroupsd" ./cmd/tinygroupsd; \
+	$(GO) build -o "$$tmp/snapshotsmoke" ./cmd/snapshotsmoke; \
+	"$$tmp/snapshotsmoke" -daemon "$$tmp/tinygroupsd" -addr $(SNAPSHOT_ADDR)
+
+# bench-snapshot records what the durability layer buys at boot — cold
+# bootstrap to epoch E vs restore-from-snapshot of the identical state —
+# as the committed BENCH_snapshot.json. The restore must verify against
+# the saved fingerprint and must be faster (speedup > 1 is enforced).
+bench-snapshot:
+	$(GO) run ./cmd/benchsnapshot -out BENCH_snapshot.json
+	@echo "wrote BENCH_snapshot.json"
+
 # bench-pow records the PoW mining engine's measured throughput — raw
 # hashes/sec (legacy derive-per-attempt stream vs the counter-mode engine),
 # full solves/sec at the reference difficulty, and in-process mint latency
@@ -201,4 +240,4 @@ bench-pow:
 	$(GO) run ./cmd/benchpow -out BENCH_pow.json
 	@echo "wrote BENCH_pow.json"
 
-ci: build lint doclint apicheck test smoke-examples serve-smoke chaos-smoke cluster-smoke bench bench-faults bench-pow bench-cluster
+ci: build lint doclint apicheck test fuzz-short smoke-examples serve-smoke chaos-smoke cluster-smoke snapshot-smoke bench bench-faults bench-pow bench-cluster bench-snapshot

@@ -1,0 +1,202 @@
+// Command benchsnapshot measures what the durability layer buys at boot
+// and records the result as BENCH_snapshot.json: the wall time to cold-boot
+// a system to epoch E (bootstrap + E epoch builds + re-putting the
+// keyspace) against the wall time to restore the same state from a
+// snapshot (one generation rebuild from persisted placement, verified
+// against the saved fingerprint). The restored system is checked to be
+// byte-identical — the benchmark is invalid if the fingerprints differ.
+//
+// Usage:
+//
+//	benchsnapshot [-out FILE] [-n N] [-seed S] [-epochs E] [-keys K] [-trials T]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/tinygroups"
+)
+
+// report is the BENCH_snapshot.json document.
+type report struct {
+	Config struct {
+		N      int   `json:"n"`
+		Seed   int64 `json:"seed"`
+		Epochs int   `json:"epochs"`
+		Keys   int   `json:"keys"`
+		Trials int   `json:"trials"`
+	} `json:"config"`
+	// ColdBoot is bootstrap-from-config: New + epochs×AdvanceEpoch + keys
+	// re-put. SnapshotBoot is New with a data dir holding the equivalent
+	// state: load + one generation rebuild + op replay.
+	ColdBoot struct {
+		BestMs   float64   `json:"best_ms"`
+		TrialsMs []float64 `json:"trials_ms"`
+	} `json:"cold_boot"`
+	SnapshotBoot struct {
+		BestMs        float64   `json:"best_ms"`
+		TrialsMs      []float64 `json:"trials_ms"`
+		SnapshotBytes int64     `json:"snapshot_bytes"`
+		ReplayedOps   int64     `json:"replayed_ops"`
+	} `json:"snapshot_boot"`
+	// Speedup is cold best_ms / snapshot best_ms; the acceptance gate is
+	// simply > 1 — restoring must beat recomputing.
+	Speedup     float64 `json:"speedup"`
+	Fingerprint string  `json:"fingerprint"`
+}
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// coldBoot builds the target state from nothing and returns the system.
+func coldBoot(ctx context.Context, n int, seed int64, epochs, keys int) (*tinygroups.System, error) {
+	s, err := tinygroups.New(n, tinygroups.WithSeed(seed))
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k < keys; k++ {
+		if _, err := s.Put(ctx, fmt.Sprintf("bench-key-%05d", k), []byte(fmt.Sprintf("bench-val-%05d", k))); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	for e := 0; e < epochs; e++ {
+		if _, err := s.AdvanceEpoch(ctx); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchsnapshot", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("out", "", "write the JSON report here (default stdout)")
+	n := fs.Int("n", 2048, "population size")
+	seed := fs.Int64("seed", 1, "determinism seed")
+	epochs := fs.Int("epochs", 5, "epoch advances in the target state")
+	keys := fs.Int("keys", 256, "stored keys in the target state")
+	trials := fs.Int("trials", 3, "timed repetitions per boot mode (best is reported)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	ctx := context.Background()
+
+	var r report
+	r.Config.N = *n
+	r.Config.Seed = *seed
+	r.Config.Epochs = *epochs
+	r.Config.Keys = *keys
+	r.Config.Trials = *trials
+
+	// Seed the data dir once: one durable system driven to the target
+	// state, closed cleanly so its newest snapshot holds everything.
+	dir, err := os.MkdirTemp("", "benchsnapshot-*")
+	if err != nil {
+		fmt.Fprintf(stderr, "benchsnapshot: %v\n", err)
+		return 1
+	}
+	defer os.RemoveAll(dir)
+	saver, err := tinygroups.New(*n, tinygroups.WithSeed(*seed), tinygroups.WithDataDir(dir))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchsnapshot: seed data dir: %v\n", err)
+		return 1
+	}
+	for k := 0; k < *keys; k++ {
+		if _, err := saver.Put(ctx, fmt.Sprintf("bench-key-%05d", k), []byte(fmt.Sprintf("bench-val-%05d", k))); err != nil {
+			fmt.Fprintf(stderr, "benchsnapshot: put: %v\n", err)
+			return 1
+		}
+	}
+	for e := 0; e < *epochs; e++ {
+		if _, err := saver.AdvanceEpoch(ctx); err != nil {
+			fmt.Fprintf(stderr, "benchsnapshot: advance: %v\n", err)
+			return 1
+		}
+	}
+	wantFP := saver.Fingerprint()
+	saver.Close()
+	_ = filepath.Walk(dir, func(_ string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && filepath.Ext(info.Name()) == ".tgsnap" {
+			if info.Size() > r.SnapshotBoot.SnapshotBytes {
+				r.SnapshotBoot.SnapshotBytes = info.Size()
+			}
+		}
+		return nil
+	})
+
+	// Timed cold boots: recompute the state from config alone.
+	for t := 0; t < *trials; t++ {
+		start := time.Now()
+		s, err := coldBoot(ctx, *n, *seed, *epochs, *keys)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchsnapshot: cold boot: %v\n", err)
+			return 1
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1e3
+		if got := s.Fingerprint(); got != wantFP {
+			fmt.Fprintf(stderr, "benchsnapshot: cold boot fingerprint %s != saved %s\n", got, wantFP)
+			s.Close()
+			return 1
+		}
+		s.Close()
+		r.ColdBoot.TrialsMs = append(r.ColdBoot.TrialsMs, ms)
+		if r.ColdBoot.BestMs == 0 || ms < r.ColdBoot.BestMs {
+			r.ColdBoot.BestMs = ms
+		}
+	}
+
+	// Timed snapshot boots: restore the identical state from the data dir.
+	for t := 0; t < *trials; t++ {
+		start := time.Now()
+		s, err := tinygroups.New(*n, tinygroups.WithSeed(*seed), tinygroups.WithDataDir(dir))
+		if err != nil {
+			fmt.Fprintf(stderr, "benchsnapshot: snapshot boot: %v\n", err)
+			return 1
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1e3
+		d := s.Durability()
+		if !d.Recovered {
+			fmt.Fprintln(stderr, "benchsnapshot: snapshot boot did not recover from disk")
+			s.Close()
+			return 1
+		}
+		if got := s.Fingerprint(); got != wantFP {
+			fmt.Fprintf(stderr, "benchsnapshot: restored fingerprint %s != saved %s\n", got, wantFP)
+			s.Close()
+			return 1
+		}
+		r.SnapshotBoot.ReplayedOps = d.ReplayedOps
+		s.Close()
+		r.SnapshotBoot.TrialsMs = append(r.SnapshotBoot.TrialsMs, ms)
+		if r.SnapshotBoot.BestMs == 0 || ms < r.SnapshotBoot.BestMs {
+			r.SnapshotBoot.BestMs = ms
+		}
+	}
+
+	r.Speedup = r.ColdBoot.BestMs / r.SnapshotBoot.BestMs
+	r.Fingerprint = wantFP
+
+	enc, _ := json.MarshalIndent(&r, "", "  ")
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, _ = stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(stderr, "benchsnapshot: write %s: %v\n", *out, err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "benchsnapshot: cold %.1fms vs snapshot %.1fms (%.2fx) at n=%d epochs=%d keys=%d\n",
+		r.ColdBoot.BestMs, r.SnapshotBoot.BestMs, r.Speedup, *n, *epochs, *keys)
+	if r.Speedup <= 1 {
+		fmt.Fprintln(stderr, "benchsnapshot: FAIL — snapshot boot is not faster than cold boot")
+		return 1
+	}
+	return 0
+}

@@ -7,11 +7,20 @@
 // daemon first so its goroutine dump lands in the log, then dumps the
 // harness's own stacks).
 //
+// Both boots share a -data-dir, so the restart is a durability test, not a
+// re-bootstrap: the harness records the epoch→fingerprint trail the first
+// daemon serves and stores a set of acknowledged keys before the kill, then
+// requires the restarted daemon to report recovered=true, resume at an
+// epoch no older than the last observed boundary with a matching
+// fingerprint, and return every acknowledged key from disk — a fresh
+// bootstrap would answer those gets with 404.
+//
 // Usage:
 //
 //	chaos -daemon PATH [-addr HOST:PORT] [-n N] [-mint-work W]
 //	      [-ops N] [-concurrency C] [-keys K] [-seed S]
 //	      [-advance-every N] [-success-floor F] [-timeout D]
+//	      [-data-dir DIR]
 //
 // The op streams are the deterministic attack generators of
 // tinygroups/loadgen, so two chaos runs with equal seeds apply identical
@@ -19,13 +28,17 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"runtime/pprof"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -81,6 +94,89 @@ func (d *daemonProc) stop(timeout time.Duration) error {
 	}
 }
 
+// health is the slice of the /healthz body the durability assertions read.
+type health struct {
+	Epoch         int64  `json:"epoch"`
+	Fingerprint   string `json:"fingerprint"`
+	Durable       bool   `json:"durable"`
+	Recovered     bool   `json:"recovered"`
+	SnapshotEpoch int    `json:"snapshot_epoch"`
+}
+
+// fetchHealth reads and decodes /healthz.
+func fetchHealth(client *http.Client, base string) (health, error) {
+	var h health
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return h, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return h, fmt.Errorf("healthz status %d", resp.StatusCode)
+	}
+	return h, json.NewDecoder(resp.Body).Decode(&h)
+}
+
+// fingerprintTrail polls /healthz until stop is closed, recording every
+// (epoch, fingerprint) pair the daemon serves. The 10ms cadence against the
+// 100ms epoch ticker makes the trail effectively gapless, so the epoch the
+// restarted daemon recovers to is almost always in the map.
+func fingerprintTrail(client *http.Client, base string, stop <-chan struct{}) (map[int64]string, *sync.Mutex) {
+	trail := make(map[int64]string)
+	var mu sync.Mutex
+	go func() {
+		t := time.NewTicker(10 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if h, err := fetchHealth(client, base); err == nil {
+					mu.Lock()
+					trail[h.Epoch] = h.Fingerprint
+					mu.Unlock()
+				}
+			}
+		}
+	}()
+	return trail, &mu
+}
+
+// putKey stores key=value via /v1/put, reporting whether the daemon
+// acknowledged the write (only acknowledged keys are asserted after the
+// restart — an unacknowledged put is allowed to be lost).
+func putKey(client *http.Client, base, key string, value []byte) bool {
+	body, _ := json.Marshal(map[string]any{"key": key, "value": value})
+	resp, err := client.Post(base+"/v1/put", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+// getKey fetches a stored value via /v1/get; ok reports a 200 with a body.
+func getKey(client *http.Client, base, key string) (value []byte, ok bool) {
+	resp, err := client.Get(base + "/v1/get?key=" + key)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, false
+	}
+	var out struct {
+		Value []byte `json:"value"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, false
+	}
+	return out.Value, true
+}
+
 // run executes the chaos sequence and returns the process exit code.
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
@@ -96,6 +192,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	advanceEvery := fs.Int("advance-every", 50, "one epoch advance per this many ops in the attack phases")
 	floor := fs.Float64("success-floor", 0.99, "minimum friendly-tail success rate after the restart")
 	timeout := fs.Duration("timeout", 120*time.Second, "whole-run watchdog; expiry dumps goroutines and exits 1")
+	dataDir := fs.String("data-dir", "", "data directory shared by both daemon boots (default: fresh temp dir, removed on success)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -106,6 +203,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *daemon == "" {
 		fmt.Fprintln(stderr, "chaos: -daemon is required")
 		return 2
+	}
+	dir := *dataDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "chaos-data-*")
+		if err != nil {
+			fmt.Fprintf(stderr, "chaos: mkdir data dir: %v\n", err)
+			return 1
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
 	}
 
 	// The watchdog is the harness's own liveness bound: if any phase wedges
@@ -123,22 +230,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 	})
 	defer wd.Stop()
 
-	daemonArgs := []string{
+	baseArgs := []string{
 		"-addr", *addr,
 		"-n", fmt.Sprint(*n),
 		"-seed", fmt.Sprint(*seed),
 		"-mint-work", fmt.Sprint(*mintWork),
-		"-epoch-interval", "100ms",
+		"-data-dir", dir,
 	}
+	// The first boot churns epochs in the background; the restart holds the
+	// epoch still (0 = advance only on request) so the recovery assertions
+	// compare against a stable generation.
+	bootArgs := append(append([]string{}, baseArgs...), "-epoch-interval", "100ms")
+	restartArgs := append(append([]string{}, baseArgs...), "-epoch-interval", "0")
 	ctx := context.Background()
-	target := loadgen.NewHTTPTarget("http://"+*addr,
+	base := "http://" + *addr
+	target := loadgen.NewHTTPTarget(base,
 		loadgen.WithRequestTimeout(2*time.Second),
 		loadgen.WithRetry(3, 10*time.Millisecond),
 	)
+	httpc := &http.Client{Timeout: 2 * time.Second}
 	cfg := loadgen.Config{Concurrency: *concurrency, Ops: *ops, Seed: *seed}
 
 	// Phase 1: boot.
-	d, err := startDaemon(*daemon, stderr, daemonArgs...)
+	d, err := startDaemon(*daemon, stderr, bootArgs...)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
@@ -153,7 +267,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "chaos: boot: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "chaos: daemon up at %s (n=%d)\n", *addr, *n)
+	fmt.Fprintf(stdout, "chaos: daemon up at %s (n=%d, data-dir=%s)\n", *addr, *n, dir)
+
+	// The trail poller shadows the first daemon's whole life, recording the
+	// fingerprint of every epoch it serves; the restart is checked against
+	// this record.
+	stopTrail := make(chan struct{})
+	trail, trailMu := fingerprintTrail(httpc, base, stopTrail)
 
 	// Phase 2: adversarial pressure — the three attack workloads, with the
 	// background epoch ticker churning underneath. Failures are tolerated
@@ -169,6 +289,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 			res.Workload, res.Ops, res.OK, res.SuccessRate, res.Retries, res.ByStatus)
 	}
 
+	// Phase 2.5: store keys the restart must serve back. Only acknowledged
+	// puts count — the op log's contract covers exactly the writes the
+	// daemon confirmed.
+	durable := make(map[string][]byte)
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("chaos-durable-%02d", i)
+		val := []byte(fmt.Sprintf("survives-the-kill-%02d", i))
+		if putKey(httpc, base, key, val) {
+			durable[key] = val
+		}
+	}
+	if len(durable) == 0 {
+		fmt.Fprintln(stderr, "chaos: FAIL — no durable put was acknowledged before the kill")
+		return 1
+	}
+	fmt.Fprintf(stdout, "chaos: %d durable keys acknowledged pre-kill\n", len(durable))
+
 	// Phase 3: SIGKILL mid-epoch. An explicit advance is fired and the
 	// process killed while it is in flight — between the ticker and this,
 	// the crash lands inside an epoch construction with high probability.
@@ -180,10 +317,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	time.Sleep(25 * time.Millisecond)
 	d.kill()
 	advCancel()
+	close(stopTrail)
 	fmt.Fprintln(stdout, "chaos: daemon SIGKILLed mid-epoch")
 
-	// Phase 4: restart and require /healthz green again.
-	d2, err := startDaemon(*daemon, stderr, daemonArgs...)
+	// Phase 4: restart on the same data dir and require /healthz green.
+	d2, err := startDaemon(*daemon, stderr, restartArgs...)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
@@ -194,6 +332,52 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprintln(stdout, "chaos: daemon restarted, healthz green")
+
+	// Phase 4.5: the restart must be a recovery from disk, not a fresh
+	// bootstrap. recovered=true plus the acknowledged keys are the proof
+	// (same-seed re-bootstrap reproduces fingerprints but not stored keys);
+	// the fingerprint trail pins the recovered epoch to the exact
+	// generation the first daemon served at that boundary.
+	h, err := fetchHealth(httpc, base)
+	if err != nil {
+		fmt.Fprintf(stderr, "chaos: post-restart healthz: %v\n", err)
+		return 1
+	}
+	if !h.Durable || !h.Recovered {
+		fmt.Fprintf(stderr, "chaos: FAIL — restarted daemon did not recover from disk (durable=%v recovered=%v)\n",
+			h.Durable, h.Recovered)
+		return 1
+	}
+	trailMu.Lock()
+	var maxSeen int64 = -1
+	for e := range trail {
+		if e > maxSeen {
+			maxSeen = e
+		}
+	}
+	wantFP, sampled := trail[h.Epoch]
+	trailMu.Unlock()
+	if h.Epoch < maxSeen {
+		fmt.Fprintf(stderr, "chaos: FAIL — recovered epoch %d older than last observed boundary %d\n",
+			h.Epoch, maxSeen)
+		return 1
+	}
+	if sampled && h.Fingerprint != wantFP {
+		fmt.Fprintf(stderr, "chaos: FAIL — epoch %d fingerprint %s != pre-kill %s\n",
+			h.Epoch, h.Fingerprint, wantFP)
+		return 1
+	}
+	recoveredKeys := 0
+	for key, want := range durable {
+		got, ok := getKey(httpc, base, key)
+		if !ok || !bytes.Equal(got, want) {
+			fmt.Fprintf(stderr, "chaos: FAIL — durable key %q lost across the kill (ok=%v)\n", key, ok)
+			return 1
+		}
+		recoveredKeys++
+	}
+	fmt.Fprintf(stdout, "chaos: recovery verified — epoch %d (snapshot %d, fingerprint %s, sampled=%v), %d/%d keys intact\n",
+		h.Epoch, h.SnapshotEpoch, h.Fingerprint, sampled, recoveredKeys, len(durable))
 
 	// Phase 5: friendly tail — uniform lookups against the restarted
 	// daemon must clear the success floor (the conceded ε of Theorem 3 is

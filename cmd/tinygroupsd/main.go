@@ -8,7 +8,17 @@
 //	            [-seed S] [-workers W] [-epoch-interval D]
 //	            [-max-batch K] [-queue Q] [-write-timeout D]
 //	            [-mint-work W] [-mint-target D]
+//	            [-data-dir PATH] [-snapshot-keep K]
 //	            [-shard-index I -shard-count K] [-version]
+//
+// With -data-dir the daemon is durable: every committed epoch boundary is
+// written as an atomic, checksummed snapshot under the directory, puts
+// between boundaries append to an op log, and a restart with the same
+// -data-dir restores the exact pre-crash state (byte-identical epoch
+// fingerprint, all acknowledged puts) instead of re-bootstrapping.
+// -snapshot-keep bounds the on-disk retention. Changing a
+// determinism-relevant flag (-n, -seed, -beta, -overlay, ...) against an
+// existing data dir fails at startup; wipe the directory to start over.
 //
 // In cluster mode (-shard-count K > 1) the daemon serves only the keys
 // whose ring point falls in shard I's contiguous range, answering a typed
@@ -82,6 +92,8 @@ func run(ctx context.Context, args []string, stderr io.Writer) int {
 	writeTimeout := fs.Duration("write-timeout", 10*time.Second, "bound on how long an accepted write may wait on the dispatcher before answering 504 (0 = unbounded)")
 	mintWork := fs.Float64("mint-work", 1<<14, "PoW difficulty of /v1/mint in expected hash attempts per ID")
 	mintTarget := fs.Duration("mint-target", 0, "retarget mint difficulty toward this mean solve time at each epoch advance (0 = fixed difficulty)")
+	dataDir := fs.String("data-dir", "", "durable state directory: snapshot each epoch boundary, op-log puts, restore on restart (empty = in-memory only)")
+	snapshotKeep := fs.Int("snapshot-keep", 3, "how many epoch snapshots to retain in -data-dir")
 	shardIndex := fs.Int("shard-index", 0, "this daemon's shard number in a cluster (0-based; requires -shard-count)")
 	shardCount := fs.Int("shard-count", 1, "cluster size; >1 serves only this shard's ring range and 421s the rest")
 	showVersion := fs.Bool("version", false, "print the build version and exit")
@@ -101,17 +113,29 @@ func run(ctx context.Context, args []string, stderr io.Writer) int {
 		return 2
 	}
 
-	sys, err := tinygroups.New(*n,
+	opts := []tinygroups.Option{
 		tinygroups.WithBeta(*beta),
 		tinygroups.WithOverlay(*overlay),
 		tinygroups.WithSeed(*seed),
 		tinygroups.WithWorkers(*workers),
 		tinygroups.WithMintWork(*mintWork),
 		tinygroups.WithMintRetarget(*mintTarget),
-	)
+	}
+	if *dataDir != "" {
+		opts = append(opts, tinygroups.WithDataDir(*dataDir), tinygroups.WithSnapshotKeep(*snapshotKeep))
+	}
+	sys, err := tinygroups.New(*n, opts...)
 	if err != nil {
 		lg.Printf("tinygroupsd: %v", err)
 		return 2
+	}
+	if dur := sys.Durability(); dur.Enabled {
+		if dur.Recovered {
+			lg.Printf("tinygroupsd: recovered epoch %d from %s (%d ops replayed, %d corrupt snapshots skipped, %d torn log bytes discarded)",
+				dur.SnapshotEpoch, dur.Dir, dur.ReplayedOps, dur.SkippedSnapshots, dur.DiscardedLogBytes)
+		} else {
+			lg.Printf("tinygroupsd: durable in %s (no prior state)", dur.Dir)
+		}
 	}
 
 	logf := lg.Printf
@@ -125,8 +149,8 @@ func run(ctx context.Context, args []string, stderr io.Writer) int {
 		Version:      buildinfo.String(),
 		Logf:         logf,
 	})
-	logf("tinygroupsd %s: n=%d beta=%v overlay=%s seed=%d workers=%d epoch-interval=%s mint-work=%v mint-target=%s shard=%d/%d",
-		buildinfo.String(), *n, *beta, *overlay, *seed, *workers, *epochEvery, *mintWork, *mintTarget, *shardIndex, *shardCount)
+	logf("tinygroupsd %s: n=%d beta=%v overlay=%s seed=%d workers=%d epoch-interval=%s mint-work=%v mint-target=%s shard=%d/%d data-dir=%q",
+		buildinfo.String(), *n, *beta, *overlay, *seed, *workers, *epochEvery, *mintWork, *mintTarget, *shardIndex, *shardCount, *dataDir)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe(*addr) }()

@@ -19,11 +19,14 @@ var updateGolden = flag.Bool("update", false, "rewrite golden experiment tables"
 // string lottery) the adversarial workloads press on; e8 pins the
 // group-size knee and e9 the input-graph properties the construction
 // rests on; e21 pins the attack-suite outcome counts end to end through
-// the serving state machine. Regenerate deliberately with
+// the serving state machine; e10–e14 pin the comparative baselines
+// (cuckoo rule, pre-computation attack, spam state caps, in-group BA,
+// secure routing) that the durable-snapshot work must not perturb.
+// Regenerate deliberately with
 // `go test ./internal/experiments -run Golden -update`
 // and review the diff like any other result change.
 func TestGoldenTables(t *testing.T) {
-	for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e21"} {
+	for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e21"} {
 		t.Run(id, func(t *testing.T) {
 			e, ok := Lookup(id)
 			if !ok {

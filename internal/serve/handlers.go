@@ -72,6 +72,13 @@ type healthResponse struct {
 	Fingerprint  string  `json:"fingerprint"`
 	PendingEpoch bool    `json:"pending_epoch"`
 	UptimeS      float64 `json:"uptime_s"`
+	// Durable / Recovered / SnapshotEpoch report the durability layer:
+	// whether a data dir is attached, whether this process restored its
+	// state from disk rather than bootstrapping, and the epoch of the
+	// newest on-disk snapshot (-1 when none).
+	Durable       bool `json:"durable"`
+	Recovered     bool `json:"recovered"`
+	SnapshotEpoch int  `json:"snapshot_epoch"`
 }
 
 // routes builds the server's mux. Every endpoint speaks JSON; errors use
@@ -329,16 +336,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if shards < 1 {
 		shards = 1
 	}
+	dur := s.sys.Durability()
 	h := healthResponse{
-		Status:       "ok",
-		Version:      s.version(),
-		Epoch:        s.epoch.Load(),
-		N:            s.sys.N(),
-		Shard:        s.cfg.ShardIndex,
-		Shards:       shards,
-		Fingerprint:  s.sys.Fingerprint(),
-		PendingEpoch: s.pending.Load(),
-		UptimeS:      time.Since(s.start).Seconds(),
+		Status:        "ok",
+		Version:       s.version(),
+		Epoch:         s.epoch.Load(),
+		N:             s.sys.N(),
+		Shard:         s.cfg.ShardIndex,
+		Shards:        shards,
+		Fingerprint:   s.sys.Fingerprint(),
+		PendingEpoch:  s.pending.Load(),
+		UptimeS:       time.Since(s.start).Seconds(),
+		Durable:       dur.Enabled,
+		Recovered:     dur.Recovered,
+		SnapshotEpoch: dur.SnapshotEpoch,
 	}
 	if s.draining() {
 		h.Status = "draining"
@@ -356,5 +367,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.Epoch = s.epoch.Load()
 	snap.UptimeS = time.Since(s.start).Seconds()
 	snap.Mint.Work = s.sys.MintWork()
+	dur := s.sys.Durability()
+	snap.Durability.Enabled = dur.Enabled
+	snap.Durability.Recovered = dur.Recovered
+	snap.Durability.SnapshotEpoch = dur.SnapshotEpoch
+	snap.Durability.SnapshotsWritten = dur.SnapshotsWritten
+	snap.Durability.OplogAppends = dur.OplogAppends
+	snap.Durability.ReplayedOps = dur.ReplayedOps
+	snap.Durability.SkippedSnapshots = dur.SkippedSnapshots
+	snap.Durability.DiscardedLogBytes = dur.DiscardedLogBytes
+	snap.Durability.SnapshotFailures = dur.SnapshotFailures
 	writeJSON(w, http.StatusOK, snap)
 }

@@ -87,6 +87,21 @@ type MetricsSnapshot struct {
 	WriteTimeouts  int64 `json:"write_timeouts"`
 	WrongShard     int64 `json:"wrong_shard"`
 	EpochsAdvanced int64 `json:"epochs_advanced"`
+
+	// Durability mirrors System.Durability: the snapshot/op-log layer's
+	// state and counters. All zero (with SnapshotEpoch -1 conventionally
+	// mapped to 0 by Enabled=false) when the daemon runs without -data-dir.
+	Durability struct {
+		Enabled           bool  `json:"enabled"`
+		Recovered         bool  `json:"recovered"`
+		SnapshotEpoch     int   `json:"snapshot_epoch"`
+		SnapshotsWritten  int64 `json:"snapshots_written"`
+		OplogAppends      int64 `json:"oplog_appends"`
+		ReplayedOps       int64 `json:"replayed_ops"`
+		SkippedSnapshots  int64 `json:"skipped_snapshots"`
+		DiscardedLogBytes int64 `json:"discarded_log_bytes"`
+		SnapshotFailures  int64 `json:"snapshot_failures"`
+	} `json:"durability"`
 }
 
 // snapshot materializes the counters into the /metrics document.

@@ -1,0 +1,97 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"reflect"
+	"testing"
+)
+
+// The decoders are the trust boundary of the durability layer: they parse
+// whatever is on disk after a crash, a partial write, or operator error.
+// These fuzz targets pin the contract — arbitrary bytes never panic, never
+// hang, and fail only with an error wrapping ErrCorrupt; valid inputs
+// round-trip exactly. Seed corpora live in testdata/fuzz; CI runs a short
+// -fuzztime pass over both targets (see make fuzz-short).
+
+func FuzzDecodeSnapshot(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(magic[:])
+	f.Add(Encode(sampleSnapshot(0)))
+	f.Add(Encode(sampleSnapshot(1<<20 - 1)))
+	big := sampleSnapshot(2)
+	big.Keys = append(big.Keys, KV{Key: string(make([]byte, 300)), Value: make([]byte, 1024)})
+	f.Add(Encode(big))
+	trunc := Encode(sampleSnapshot(3))
+	f.Add(trunc[:len(trunc)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("non-typed decode error: %v", err)
+			}
+			return
+		}
+		// A decodable input must re-encode to an equivalent snapshot (the
+		// encoding is canonical, but sha256 trailers over distinct bodies
+		// can't collide in a fuzz run — so compare decoded forms).
+		re, err := Decode(Encode(s))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded snapshot failed: %v", err)
+		}
+		if !reflect.DeepEqual(s, re) {
+			t.Fatal("decode/encode/decode not a fixed point")
+		}
+	})
+}
+
+func FuzzDecodeLog(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(logMagic[:])
+	var hdr bytes.Buffer
+	hdr.Write(logMagic[:])
+	writeUint(&hdr, Version)
+	writeUint(&hdr, 7)
+	f.Add(hdr.Bytes())
+	withRec := append([]byte(nil), hdr.Bytes()...)
+	withRec = append(withRec, encodeRecord(Op{Key: "k", Value: []byte("v")})...)
+	f.Add(withRec)
+	f.Add(withRec[:len(withRec)-3]) // torn tail
+	f.Fuzz(func(t *testing.T, data []byte) {
+		epoch, ops, discarded, err := DecodeLog(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("non-typed log decode error: %v", err)
+			}
+			return
+		}
+		if epoch < 0 || discarded < 0 || discarded > len(data) {
+			t.Fatalf("impossible bookkeeping: epoch %d discarded %d", epoch, discarded)
+		}
+		// Replayable ops must round-trip through a rebuilt log.
+		var rebuilt bytes.Buffer
+		rebuilt.Write(logMagic[:])
+		writeUint(&rebuilt, Version)
+		writeUint(&rebuilt, uint64(epoch))
+		for _, op := range ops {
+			rebuilt.Write(encodeRecord(op))
+		}
+		e2, ops2, d2, err := DecodeLog(rebuilt.Bytes())
+		if err != nil || e2 != epoch || d2 != 0 || len(ops2) != len(ops) {
+			t.Fatalf("rebuilt log mismatch: %v epoch %d discarded %d ops %d", err, e2, d2, len(ops2))
+		}
+	})
+}
+
+// encodeRecord frames one op exactly as Log.Append does, for building
+// in-memory logs without a file.
+func encodeRecord(op Op) []byte {
+	var payload bytes.Buffer
+	writeString(&payload, op.Key)
+	writeBytes(&payload, op.Value)
+	out := binary.BigEndian.AppendUint32(nil, uint32(payload.Len()))
+	out = binary.BigEndian.AppendUint32(out, crc32.Checksum(payload.Bytes(), crcTable))
+	return append(out, payload.Bytes()...)
+}

@@ -124,6 +124,9 @@ func (s *System) PutBatch(ctx context.Context, pairs []KV) ([]BatchResult, error
 		}
 		v := make([]byte, len(pairs[i].Value))
 		copy(v, pairs[i].Value)
+		if err := s.appendOpLocked(pairs[i].Key, v); err != nil {
+			return nil, err
+		}
 		s.store.Store(pairs[i].Key, v)
 	}
 	return out, nil

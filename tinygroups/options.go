@@ -41,13 +41,15 @@ type config struct {
 	observer           Observer
 	mintWork           float64
 	mintTarget         time.Duration
+	dataDir            string
+	snapshotKeep       int
 }
 
 func defaults(n int) config {
 	// Beta defaults to 0.05 — the paper's "sufficiently small" β for which
 	// the dynamic construction is stable at Θ(log log n) group sizes.
 	// mintWork defaults to 2^14 expected attempts — DefaultParams difficulty.
-	return config{n: n, beta: 0.05, overlayName: "chord", strategy: Uniform, seed: 1, mintWork: 1 << 14}
+	return config{n: n, beta: 0.05, overlayName: "chord", strategy: Uniform, seed: 1, mintWork: 1 << 14, snapshotKeep: 3}
 }
 
 // Option configures a System at construction; options are applied in
@@ -152,6 +154,9 @@ func (c *config) validate() error {
 	}
 	if c.mintTarget < 0 {
 		return fmt.Errorf("%w: negative mint retarget %v", ErrBadConfig, c.mintTarget)
+	}
+	if c.snapshotKeep < 1 {
+		return fmt.Errorf("%w: snapshot retention %d too low (need ≥ 1)", ErrBadConfig, c.snapshotKeep)
 	}
 	return nil
 }

@@ -8,13 +8,13 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/adversary"
 	"repro/internal/ba"
 	"repro/internal/epoch"
 	"repro/internal/groups"
 	"repro/internal/hashes"
 	"repro/internal/pow"
 	"repro/internal/ring"
+	disk "repro/internal/snapshot"
 )
 
 // Point is a location in the system's circular ID space [0,1), encoded as
@@ -156,6 +156,10 @@ type System struct {
 	mintSolves   atomic.Int64
 	mintNanos    atomic.Int64
 	mintAttempts atomic.Int64
+
+	// durable is the data-directory handle when WithDataDir is set; nil
+	// otherwise. Its op log is guarded by wmu like every other write.
+	durable *durableState
 }
 
 // New builds a System of n IDs with trusted initialization (Appendix X)
@@ -169,33 +173,62 @@ func New(n int, opts ...Option) (*System, error) {
 	if err := c.validate(); err != nil {
 		return nil, err
 	}
-	ecfg := epoch.DefaultConfig(c.n)
-	ecfg.Params.Beta = c.beta
-	ecfg.Overlay = c.overlayName
-	ecfg.Strategy = adversary.Strategy(c.strategy)
-	ecfg.Seed = c.seed
-	ecfg.Workers = c.workers
-	ecfg.TwoGraphs = !c.singleGraph
-	ecfg.VerifyRequests = !c.noVerify
-	ecfg.SpamFactor = c.spamFactor
-	ecfg.MidEpochDepartures = c.midEpochDepartures
-	ecfg.SizeDrift = c.sizeDrift
-	if err := ecfg.Params.Validate(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
-	}
-	dyn, err := epoch.New(ecfg)
+	ecfg, err := c.epochConfig()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		return nil, err
+	}
+	// With a data dir, recovery runs first: the newest valid snapshot (if
+	// any, and if its config echo matches) replaces the cold bootstrap.
+	var (
+		durable *durableState
+		loaded  *disk.LoadResult
+	)
+	if c.dataDir != "" {
+		durable, loaded, err = openDurable(&c)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var dyn *epoch.System
+	if loaded != nil {
+		dyn, err = restoreSystem(&c, loaded.Snapshot)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		dyn, err = epoch.New(ecfg)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
 	}
 	s := &System{
-		cfg: c,
-		dyn: dyn,
-		rng: rand.New(rand.NewSource(c.seed + 0x5eed)),
+		cfg:     c,
+		dyn:     dyn,
+		rng:     rand.New(rand.NewSource(c.seed + 0x5eed)),
+		durable: durable,
 	}
 	if c.mintTarget > 0 {
 		s.retarget = pow.NewRetargeter(c.mintWork, pow.RetargetConfig{TargetSolve: c.mintTarget})
 	}
+	if loaded != nil {
+		if err := s.finishRecovery(loaded); err != nil {
+			dyn.Close()
+			return nil, err
+		}
+		return s, nil
+	}
 	s.snap.Store(newSnapshot(c.seed, dyn.Generation(), c.mintWork))
+	if durable != nil {
+		// Persist the bootstrap state immediately so a crash before the
+		// first epoch flip still restarts from disk.
+		s.wmu.Lock()
+		err := s.persistLocked()
+		s.wmu.Unlock()
+		if err != nil {
+			dyn.Close()
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+	}
 	return s, nil
 }
 
@@ -208,6 +241,10 @@ func (s *System) Close() error {
 	defer s.wmu.Unlock()
 	if s.closed.CompareAndSwap(false, true) {
 		s.dyn.Close()
+		if d := s.durable; d != nil && d.oplog != nil {
+			d.oplog.Close()
+			d.oplog = nil
+		}
 	}
 	return nil
 }
@@ -284,6 +321,11 @@ func (s *System) Put(ctx context.Context, key string, value []byte) (LookupInfo,
 	}
 	v := make([]byte, len(value))
 	copy(v, value)
+	// Log before acknowledging: a durable System must be able to replay
+	// every put it accepted.
+	if err := s.appendOpLocked(key, v); err != nil {
+		return info, err
+	}
 	s.store.Store(key, v)
 	return info, nil
 }
@@ -392,6 +434,7 @@ func (s *System) publishLocked(est epoch.Stats) Stats {
 		}
 	}
 	s.snap.Store(newSnapshot(s.cfg.seed, s.dyn.Generation(), work))
+	s.persistBoundaryLocked()
 	st := statsFrom(est)
 	if obs := s.cfg.observer; obs != nil {
 		obs.ObserveMint(MintEvent{Epoch: st.Epoch, Minted: st.N, Bad: s.dyn.BadCount()})
